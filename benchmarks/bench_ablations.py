@@ -1,0 +1,135 @@
+"""Ablation benches for the design choices DESIGN.md calls out (D1-D5).
+
+* D1 — topological vs random grouping (AID-P-B vs TAGT);
+* D2 — Definition 2 observational pruning (AID vs AID-P);
+* D3 — branch pruning (AID-P vs AID-P-B);
+* D4 — executions per intervention round (footnote 1 repeats);
+* D5 — precedence policy choice (kind-anchored vs uniform).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import Approach, discover
+from repro.core.precedence import EndTimePolicy, KindAnchorPolicy, StartTimePolicy
+from repro.harness.session import AIDSession, SessionConfig
+from repro.workloads.common import REGISTRY
+from repro.workloads.synthetic import generate_app, spec_for_maxt
+
+from .conftest import shared_session
+
+
+def _sweep(approach, n_apps=30, maxt=18):
+    rounds = 0
+    for seed in range(n_apps):
+        app = generate_app(5_000_000 + seed, spec_for_maxt(maxt))
+        result = discover(approach, app.dag, app.runner(), rng=random.Random(seed))
+        assert set(result.causal_path) - {"F"} == set(app.causal_path)
+        rounds += result.n_rounds
+    return rounds
+
+
+@pytest.mark.parametrize(
+    "approach", [Approach.AID, Approach.AID_P, Approach.AID_P_B, Approach.TAGT]
+)
+def test_ablation_ladder_bench(benchmark, approach):
+    benchmark.group = "ablations"
+    total = benchmark.pedantic(
+        lambda: _sweep(approach, n_apps=10), rounds=1, iterations=1
+    )
+    assert total > 0
+
+
+def test_d1_topological_vs_random_order(benchmark):
+    benchmark.group = "ablations"
+    topo = benchmark.pedantic(
+        lambda: _sweep(Approach.AID_P_B), rounds=1, iterations=1
+    )
+    rand = _sweep(Approach.TAGT)
+    print(f"\nD1: topological {topo} vs random {rand} total rounds")
+    assert topo <= rand * 1.05  # topological never clearly worse
+
+def test_d2_observational_pruning(benchmark):
+    benchmark.group = "ablations"
+    with_pruning = benchmark.pedantic(
+        lambda: _sweep(Approach.AID), rounds=1, iterations=1
+    )
+    without = _sweep(Approach.AID_P)
+    print(f"D2: with Def.2 pruning {with_pruning} vs without {without}")
+    assert with_pruning < without
+
+
+def test_d3_branch_pruning(benchmark):
+    benchmark.group = "ablations"
+    with_branch = benchmark.pedantic(
+        lambda: _sweep(Approach.AID_P), rounds=1, iterations=1
+    )
+    without = _sweep(Approach.AID_P_B)
+    print(f"D3: with branch pruning {with_branch} vs without {without}")
+    assert with_branch < without
+
+
+def test_d4_repeats_tradeoff(benchmark):
+    """More executions per round cost more runs but keep decisions sound;
+    the round *counts* stay identical once repeats suffice."""
+    benchmark.group = "ablations"
+    workload = REGISTRY.build("npgsql")
+    rounds, executions = {}, {}
+    reports = {}
+    for repeats in (10, 25):
+        session = AIDSession(
+            workload.program, SessionConfig(repeats=repeats)
+        )
+        if repeats == 25:
+            report = benchmark.pedantic(
+                lambda: session.run(Approach.AID), rounds=1, iterations=1
+            )
+        else:
+            report = session.run(Approach.AID)
+        rounds[repeats] = report.n_rounds
+        executions[repeats] = report.discovery.n_executions
+        assert report.n_causal == workload.paper.causal_path_len
+    print(f"\nD4: repeats→(rounds, executions): "
+          f"{ {r: (rounds[r], executions[r]) for r in rounds} }")
+    assert executions[25] > executions[10]
+
+
+@pytest.mark.parametrize(
+    "policy_name,policy",
+    [
+        ("kind-anchored", KindAnchorPolicy()),
+        ("start-time", StartTimePolicy()),
+        ("end-time", EndTimePolicy()),
+    ],
+)
+def test_d5_precedence_policy(benchmark, policy_name, policy):
+    """Any conservative policy must still find the true root cause; the
+    default kind-anchored policy yields the full chain."""
+    benchmark.group = "ablations"
+    workload = REGISTRY.build("npgsql")
+    session = AIDSession(workload.program, SessionConfig(policy=policy))
+    report = benchmark.pedantic(
+        lambda: session.run(Approach.AID), rounds=1, iterations=1
+    )
+    print(f"\nD5[{policy_name}]: path length {report.n_causal}, "
+          f"{report.n_rounds} rounds")
+    assert report.discovery.root_cause is not None
+    assert "race(_nextSlot)" in " ".join(report.causal_path)
+    if policy_name == "kind-anchored":
+        assert report.n_causal == workload.paper.causal_path_len
+
+
+def test_probe_all_first_helps_at_junction_heavy_dags(benchmark):
+    """The whole-junction opener (used inside branch pruning) pays off
+    on real case studies: AID with branch pruning beats AID without."""
+    benchmark.group = "ablations"
+    session = shared_session("healthtelemetry")
+    aid = benchmark.pedantic(
+        lambda: session.run(Approach.AID), rounds=1, iterations=1
+    )
+    no_branch = session.run(Approach.AID_P_B)
+    print(f"\nprobe-all: AID {aid.n_rounds} vs no-branch {no_branch.n_rounds}")
+    assert aid.n_rounds < no_branch.n_rounds

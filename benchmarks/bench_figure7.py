@@ -1,0 +1,67 @@
+"""Figure 7 — the six real-world case studies (experiments E1-E4).
+
+For every application the paper reports: the number of discriminative
+predicates SD finds, the causal path length, and the interventions AID
+vs. traditional adaptive group testing (TAGT) need.  Each benchmark
+times AID's full intervention phase on one case study and prints the
+measured row next to the paper's; the module-level check asserts the
+shape properties the paper claims (AID ≤ TAGT everywhere, both exact).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Approach
+from repro.harness.experiments import CaseStudyResult, figure7_report
+from repro.workloads.common import REGISTRY
+
+from .conftest import shared_session
+
+CASES = ["npgsql", "kafka", "cosmosdb", "network", "buildandtest", "healthtelemetry"]
+
+_RESULTS: dict[str, CaseStudyResult] = {}
+
+
+def _result(name: str) -> CaseStudyResult:
+    if name not in _RESULTS:
+        session = shared_session(name)
+        _RESULTS[name] = CaseStudyResult(
+            workload=REGISTRY.build(name),
+            aid=session.run(Approach.AID),
+            tagt=session.run(Approach.TAGT),
+        )
+    return _RESULTS[name]
+
+
+@pytest.mark.parametrize("name", CASES)
+def test_fig7_case_study(benchmark, name):
+    session = shared_session(name)
+    result = _result(name)  # warm the comparison row first
+
+    benchmark.group = "figure7"
+    report = benchmark(lambda: session.run(Approach.AID))
+
+    workload = result.workload
+    assert result.matches_ground_truth
+    assert result.paths_agree
+    assert result.aid_rounds <= result.tagt_rounds
+    assert result.causal_path_len == workload.paper.causal_path_len
+    assert abs(result.sd_predicates - workload.paper.sd_predicates) <= 2
+    assert report.causal_path == result.aid.causal_path
+
+
+def test_fig7_table_and_shape(benchmark):
+    """Print the full Figure 7 table; assert the cross-row claims."""
+    rows = [_result(name) for name in CASES]
+    benchmark.group = "figure7"
+    report = benchmark(lambda: figure7_report(rows))
+    print()
+    print(report)
+    # Shape: AID wins everywhere, and in aggregate by a wide margin.
+    assert all(r.aid_rounds <= r.tagt_rounds for r in rows)
+    total_aid = sum(r.aid_rounds for r in rows)
+    total_tagt = sum(r.tagt_rounds for r in rows)
+    assert total_aid < 0.6 * total_tagt
+    # SD alone returns far more predicates than the causal path.
+    assert all(r.sd_predicates >= 3 * r.causal_path_len for r in rows)

@@ -1,0 +1,97 @@
+"""Figure 8 — synthetic sweep over MAXt (experiments E5-E6).
+
+Average and worst-case intervention counts for TAGT and the AID variant
+ladder, over generated applications with known ground truth.  The paper
+runs 500 apps per setting; default here is scaled down (REPRO_FULL=1
+restores paper scale).
+
+Shape assertions (the paper's two key observations):
+
+* topological ordering + pruning help: AID ≤ AID-P ≤ AID-P-B on average
+  and AID beats TAGT clearly;
+* the worst-case margin between AID and TAGT is large (paper: 52 vs 217).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.variants import Approach
+from repro.harness.experiments import FIGURE8_MAXT, figure8, figure8_report
+
+_CACHE: dict = {}
+
+
+def _sweep(apps_per_setting):
+    if "result" not in _CACHE:
+        _CACHE["result"] = figure8(
+            maxt_values=FIGURE8_MAXT, apps_per_setting=apps_per_setting, seed=7
+        )
+    return _CACHE["result"]
+
+
+@pytest.mark.parametrize("maxt", FIGURE8_MAXT)
+def test_fig8_setting(benchmark, maxt, apps_per_setting):
+    """Benchmark one MAXt setting (AID over a fresh app batch)."""
+    import random
+
+    from repro.core.variants import discover
+    from repro.workloads.synthetic import generate_app, spec_for_maxt
+
+    apps = [
+        generate_app(9_000_000 + maxt * 997 + i, spec_for_maxt(maxt))
+        for i in range(5)
+    ]
+
+    def run_aid():
+        return [
+            discover(Approach.AID, app.dag, app.runner(), rng=random.Random(i))
+            for i, app in enumerate(apps)
+        ]
+
+    benchmark.group = "figure8"
+    results = benchmark(run_aid)
+    for app, result in zip(apps, results):
+        assert set(result.causal_path) - {"F"} == set(app.causal_path)
+
+
+def test_fig8_table_and_shape(benchmark, apps_per_setting):
+    benchmark.group = "figure8"
+    result = benchmark.pedantic(
+        lambda: _sweep(apps_per_setting), rounds=1, iterations=1
+    )
+    print()
+    print(figure8_report(result))
+    assert result.all_exact, "every approach must recover the exact path"
+
+    maxts = sorted(result.avg_predicates)
+    large = [m for m in maxts if result.avg_predicates[m] >= 30]
+    assert large, "sweep must include non-trivial settings"
+
+    def avg(approach):
+        return sum(result.cells[(m, approach)].average for m in large)
+
+    def worst(approach):
+        return max(result.cells[(m, approach)].worst for m in large)
+
+    # The variant ladder, averaged over the larger settings.
+    assert avg(Approach.AID) < avg(Approach.AID_P) < avg(Approach.AID_P_B)
+    assert avg(Approach.AID) < 0.75 * avg(Approach.TAGT)
+    # Worst case: AID's margin over TAGT is wide (paper: 52 vs 217).
+    assert worst(Approach.AID) < 0.66 * worst(Approach.TAGT)
+
+
+def test_fig8_interventions_grow_with_maxt(benchmark, apps_per_setting):
+    """Bigger applications need more interventions (the x-axis trend)."""
+    benchmark.group = "figure8"
+    result = benchmark.pedantic(
+        lambda: _sweep(apps_per_setting), rounds=1, iterations=1
+    )
+    maxts = sorted(result.avg_predicates)
+    first, last = maxts[0], maxts[-1]
+    assert result.avg_predicates[first] < result.avg_predicates[last]
+    for approach in (Approach.AID, Approach.TAGT):
+        assert (
+            result.cells[(first, approach)].average
+            < result.cells[(last, approach)].average
+        )

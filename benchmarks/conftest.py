@@ -1,0 +1,38 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark prints the regenerated paper artifact (table rows or
+figure series) via ``print`` — run with ``-s`` to see them inline; they
+are also summarized in EXPERIMENTS.md.
+
+Set ``REPRO_FULL=1`` for paper-scale parameters (500 synthetic apps per
+setting); the default is scaled for CI.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness.session import AIDSession, SessionConfig
+from repro.workloads.common import REGISTRY
+
+FULL_SCALE = bool(int(os.environ.get("REPRO_FULL", "0")))
+APPS_PER_SETTING = 500 if FULL_SCALE else 40
+
+_SESSIONS: dict[str, AIDSession] = {}
+
+
+def shared_session(name: str) -> AIDSession:
+    """One fully-analyzed session per case study, shared by benchmarks."""
+    if name not in _SESSIONS:
+        workload = REGISTRY.build(name)
+        session = AIDSession(workload.program, SessionConfig())
+        session.build_dag()
+        _SESSIONS[name] = session
+    return _SESSIONS[name]
+
+
+@pytest.fixture(scope="session")
+def apps_per_setting() -> int:
+    return APPS_PER_SETTING

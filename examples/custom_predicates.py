@@ -1,0 +1,145 @@
+"""Extending AID: a custom predicate type and extractor.
+
+Predicate design is orthogonal to AID (paper Section 3.2) — the
+pipeline accepts any predicate that can (a) evaluate itself on a trace
+and (b) build a repairing fault injection.  This example adds a
+*negative-return* predicate ("method M returns a negative number"),
+plugs it into the extractor suite, and debugs a program whose built-in
+vocabulary misses the root cause's cleanest description.
+
+Run:  python examples/custom_predicates.py
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import AIDSession, SessionConfig
+from repro.core import default_extractors
+from repro.core.extraction import Extractor
+from repro.core.predicates import Observation, PredicateDef, PredicateKind
+from repro.sim import ForceReturn, MethodSelector, Program
+from repro.sim.tracing import ExecutionTrace, MethodKey
+
+
+@dataclass(frozen=True, eq=False)
+class NegativeReturnPredicate(PredicateDef):
+    """Invocation returned a negative number (never seen in success)."""
+
+    key: MethodKey
+    repair_value: int
+
+    @property
+    def pid(self) -> str:
+        return f"negret[{self.key}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.WRONG_RETURN
+
+    @property
+    def description(self) -> str:
+        return f"method {self.key} returns a negative number"
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        m = trace.lookup(self.key)
+        if m is None or m.exception is not None:
+            return None
+        if not isinstance(m.return_value, int) or m.return_value >= 0:
+            return None
+        return Observation(m.end_time, m.end_time)
+
+    def interventions(self):
+        return (
+            ForceReturn(
+                selector=MethodSelector.from_key(self.key),
+                value=self.repair_value,
+                skip_body=False,
+            ),
+        )
+
+    def is_safe(self, program: Program) -> bool:
+        return self.key.method in program.readonly_methods
+
+
+class NegativeReturnExtractor(Extractor):
+    """Propose negret predicates for int-returning methods that go
+    negative in some failed run but never in successful runs."""
+
+    def discover(self, successes, failures):
+        candidates = {}
+        for trace in failures:
+            for m in trace.method_executions():
+                if isinstance(m.return_value, int) and m.return_value < 0:
+                    candidates.setdefault(m.key, None)
+        for trace in successes:
+            for m in trace.method_executions():
+                if m.key in candidates and isinstance(m.return_value, int):
+                    candidates[m.key] = m.return_value  # repair value
+        return [
+            NegativeReturnPredicate(key=key, repair_value=value or 0)
+            for key, value in sorted(candidates.items())
+            if value is not None and value >= 0
+        ]
+
+
+# -- a program whose bug is best described by the custom predicate -------
+
+
+def main_thread(ctx):
+    yield from ctx.spawn("meter", "SampleQuota")
+    yield from ctx.work(ctx.randint(0, 25))
+    yield from ctx.call("ConsumeQuota", 7)
+    yield from ctx.join("meter")
+    return "ok"
+
+
+def consume_quota(ctx, amount):
+    quota = ctx.peek("quota")
+    yield from ctx.write("quota", quota - amount)  # dips below zero...
+    yield from ctx.work(8)
+    yield from ctx.write("quota", quota - amount + 10)  # ...until refill
+    return "consumed"
+
+
+def sample_quota(ctx):
+    yield from ctx.work(ctx.randint(0, 35))
+    value = yield from ctx.call("ReadQuota")
+    if value < 0:
+        ctx.throw("QuotaUnderflow", f"sampled quota {value}")
+    return value
+
+
+def read_quota(ctx):
+    value = yield from ctx.read("quota")
+    yield from ctx.work(1)
+    return value
+
+
+program = Program(
+    name="quota-meter",
+    methods={
+        "Main": main_thread,
+        "ConsumeQuota": consume_quota,
+        "SampleQuota": sample_quota,
+        "ReadQuota": read_quota,
+    },
+    main="Main",
+    shared={"quota": 3},
+    readonly_methods=frozenset({"SampleQuota", "ReadQuota"}),
+)
+
+
+def main() -> None:
+    extractors = default_extractors() + [NegativeReturnExtractor()]
+    session = AIDSession(
+        program,
+        SessionConfig(n_success=40, n_fail=40, extractors=extractors),
+    )
+    report = session.run("AID")
+    print(report.explanation.render())
+    custom = [p for p in report.causal_path if p.startswith("negret[")]
+    print(f"\ncustom negret predicates on the causal path: {custom}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Offline debugging: collect traces once, analyze from JSON later.
+
+The paper's instrumentation/extraction split (Appendix A) means traces
+can be shipped from production and predicates designed after the fact.
+This example collects a corpus from the Kafka case study, serializes it
+to JSON files, then runs statistical debugging and AC-DAG construction
+purely from the deserialized traces — contrasting AID's causal path with
+the flat ranked list classic SD would give the developer.
+
+Run:  python examples/offline_corpus.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import load_workload
+from repro.core import ACDag, PredicateSuite, StatisticalDebugger
+from repro.core.report import render_sd_ranking
+from repro.harness import collect
+from repro.sim.serialize import trace_from_json, trace_to_json
+
+workload = load_workload("kafka")
+
+# --- online phase: run the flaky application, dump traces ---------------
+corpus = collect(workload.program, n_success=30, n_fail=30)
+archive = Path(tempfile.mkdtemp(prefix="aid-corpus-"))
+for label, traces in (("pass", corpus.successes), ("fail", corpus.failures)):
+    for i, trace in enumerate(traces):
+        (archive / f"{label}-{i:03d}.json").write_text(trace_to_json(trace))
+print(f"archived {len(list(archive.glob('*.json')))} traces to {archive}")
+
+# --- offline phase: everything below uses only the JSON files -----------
+successes = [
+    trace_from_json(p.read_text()) for p in sorted(archive.glob("pass-*"))
+]
+failures = [
+    trace_from_json(p.read_text()) for p in sorted(archive.glob("fail-*"))
+]
+
+suite = PredicateSuite.discover(successes, failures, program=workload.program)
+logs = [suite.evaluate(t) for t in successes + failures]
+sd = StatisticalDebugger(logs=logs)
+
+print()
+print(render_sd_ranking(sd.ranked(), suite.defs, limit=8))
+
+failure_pid = suite.failure_pids()[0]
+fully = [
+    pid for pid in sd.fully_discriminative_pids() if pid != failure_pid
+]
+dag = ACDag.build(
+    defs=dict(suite.defs),
+    failed_logs=[log for log in logs if log.failed],
+    failure=failure_pid,
+    candidate_pids=fully,
+)
+discarded = sum(
+    1 for reason in dag.discarded.values() if "no temporal" in reason
+)
+print()
+print(
+    f"AC-DAG from the archived corpus: {len(dag)} nodes, "
+    f"{discarded} predicates discarded (no temporal path to the failure)"
+)
+print(
+    "The intervention phase needs the live program (interventions are "
+    "re-executions); see examples/npgsql_data_race.py for that half."
+)
+
+# Tidy up the temp archive.
+for p in archive.glob("*.json"):
+    p.unlink()
+archive.rmdir()

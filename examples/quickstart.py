@@ -1,0 +1,80 @@
+"""Quickstart: debug an intermittently-failing program with AID.
+
+We write a small bank-transfer program with a classic check-then-act
+race: an auditor thread reads a balance while a transfer updates it via
+a two-write protocol.  Under unlucky interleavings the auditor observes
+the transient negative balance and the reconciliation step crashes.
+
+AID takes the program, collects successful and failed executions,
+builds the approximate causal DAG, intervenes its way to the root cause,
+and prints the causal story.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SessionConfig, debug
+from repro.sim import Program
+
+
+def main_thread(ctx):
+    yield from ctx.spawn("auditor", "AuditBalance")
+    yield from ctx.work(ctx.randint(0, 30))
+    yield from ctx.call("Transfer", 100)
+    yield from ctx.join("auditor")
+    return "day-closed"
+
+
+def transfer(ctx, amount):
+    """Two-step transfer: debit first, credit later (the race window)."""
+    balance = ctx.peek("balance") or 0
+    yield from ctx.write("balance", balance - amount)  # transiently negative
+    yield from ctx.work(10)  # talk to the other bank
+    yield from ctx.write("balance", balance)  # credit lands
+    return "transferred"
+
+
+def audit_balance(ctx):
+    yield from ctx.work(ctx.randint(0, 40))
+    balance = yield from ctx.read("balance")  # unsynchronized read (bug)
+    verdict = yield from ctx.call("Reconcile", balance)
+    if verdict != "balanced":
+        ctx.throw("LedgerMismatch", f"books show {balance}")
+    return verdict
+
+
+def reconcile(ctx, balance):
+    yield from ctx.work(2)
+    return "balanced" if balance >= 0 else "mismatch"
+
+
+program = Program(
+    name="bank-audit",
+    methods={
+        "Main": main_thread,
+        "Transfer": transfer,
+        "AuditBalance": audit_balance,
+        "Reconcile": reconcile,
+    },
+    main="Main",
+    shared={"balance": 0},
+    # Only side-effect-free methods may receive value-altering
+    # interventions (the paper's safety rule, Section 3.3).
+    readonly_methods=frozenset({"AuditBalance", "Reconcile"}),
+)
+
+
+def main() -> None:
+    report = debug(program, config=SessionConfig(n_success=40, n_fail=40))
+
+    print(f"Corpus: {len(report.corpus.successes)} successful and "
+          f"{len(report.corpus.failures)} failed executions")
+    print(f"Statistical debugging found {report.n_sd_predicates} "
+          f"fully-discriminative predicates; AID confirmed "
+          f"{report.n_causal} as causal.\n")
+    print(report.explanation.render())
+    print("\nApproximate causal DAG (Graphviz):\n")
+    print(report.dag.to_dot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show the bundled case-study workloads with their paper references.
+``debug <workload> [--approach AID] [--seed N]``
+    Run the full AID pipeline on a case study and print the explanation.
+``figure7`` / ``figure8`` / ``figure6`` / ``example3``
+    Regenerate the paper's evaluation artifacts as text tables.
+``trace <workload> --seed N [--out FILE]``
+    Run one execution and dump its trace as JSON (Figure 9(b) schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.variants import Approach
+from .harness.experiments import (
+    example3_report,
+    figure6_report,
+    figure7,
+    figure7_report,
+    figure8,
+    figure8_report,
+)
+from .harness.session import AIDSession, SessionConfig
+from .harness.tables import render_table
+from .sim.scheduler import Simulator
+from .sim.serialize import trace_to_json
+from .workloads.common import REGISTRY
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in REGISTRY.names():
+        workload = REGISTRY.build(name)
+        rows.append(
+            [
+                name,
+                workload.paper.github_issue,
+                workload.description,
+            ]
+        )
+    print(render_table(["workload", "issue", "bug"], rows))
+    return 0
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    workload = REGISTRY.build(args.workload)
+    config = SessionConfig(
+        n_success=args.runs, n_fail=args.runs, rng_seed=args.seed
+    )
+    session = AIDSession(workload.program, config)
+    report = session.run(Approach(args.approach))
+    print(f"workload : {workload.name} ({workload.paper.github_issue})")
+    print(f"approach : {report.approach.value}")
+    print(
+        f"predicates: {report.n_sd_predicates} fully discriminative "
+        f"(paper: {workload.paper.sd_predicates})"
+    )
+    print(
+        f"rounds   : {report.n_rounds} intervention rounds, "
+        f"{report.discovery.n_executions} executions"
+    )
+    print()
+    print(report.explanation.render())
+    if args.dot:
+        print()
+        print(report.dag.to_dot())
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    results = figure7()
+    print(figure7_report(results))
+    return 0 if all(r.matches_ground_truth for r in results) else 1
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    result = figure8(apps_per_setting=args.apps, seed=args.seed)
+    print(figure8_report(result))
+    print(f"\napps per setting: {result.n_apps}; "
+          f"exact recovery everywhere: {result.all_exact}")
+    return 0 if result.all_exact else 1
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    print(figure6_report(args.junctions, args.branches, args.chain,
+                         args.causal, args.s1, args.s2))
+    return 0
+
+
+def _cmd_example3(args: argparse.Namespace) -> int:
+    print(example3_report())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    workload = REGISTRY.build(args.workload)
+    result = Simulator(workload.program).run(args.seed)
+    text = trace_to_json(result.trace, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        status = "FAILED" if result.failed else "ok"
+        print(f"wrote {args.out} (seed {args.seed}, {status})")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Causality-Guided Adaptive Interventional Debugging (AID)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled case-study workloads")
+
+    debug = sub.add_parser("debug", help="debug a case study with AID")
+    debug.add_argument("workload", choices=REGISTRY.names())
+    debug.add_argument(
+        "--approach",
+        default="AID",
+        choices=[a.value for a in Approach],
+    )
+    debug.add_argument("--runs", type=int, default=50,
+                       help="successful/failed executions to collect")
+    debug.add_argument("--seed", type=int, default=0)
+    debug.add_argument("--dot", action="store_true",
+                       help="also print the AC-DAG in Graphviz format")
+
+    sub.add_parser("figure7", help="regenerate the case-study table")
+
+    fig8 = sub.add_parser("figure8", help="regenerate the synthetic sweep")
+    fig8.add_argument("--apps", type=int, default=100)
+    fig8.add_argument("--seed", type=int, default=7)
+
+    fig6 = sub.add_parser("figure6", help="regenerate the theory table")
+    fig6.add_argument("--junctions", type=int, default=3)
+    fig6.add_argument("--branches", type=int, default=4)
+    fig6.add_argument("--chain", type=int, default=3)
+    fig6.add_argument("--causal", type=int, default=4)
+    fig6.add_argument("--s1", type=int, default=2)
+    fig6.add_argument("--s2", type=int, default=2)
+
+    sub.add_parser("example3", help="the Example 3 search-space table")
+
+    trace = sub.add_parser("trace", help="dump one execution trace as JSON")
+    trace.add_argument("workload", choices=REGISTRY.names())
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default=None)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "debug": _cmd_debug,
+    "figure7": _cmd_figure7,
+    "figure8": _cmd_figure8,
+    "figure6": _cmd_figure6,
+    "example3": _cmd_example3,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""Intervention execution: re-running the application under repairs.
+
+The intervention algorithms (GIWP, branch pruning, TAGT) are written
+against a minimal abstraction — :class:`InterventionRunner` — so they
+work identically over
+
+* :class:`SimulationRunner` — re-executes a simulated program with the
+  fault injections that repair the selected predicates (the real AID
+  pipeline), and
+* the ground-truth oracle used by the synthetic benchmark
+  (:mod:`repro.workloads.synthetic`), which answers from a known causal
+  model without execution.
+
+One call to :meth:`InterventionRunner.run_group` is one *intervention
+round* in the paper's accounting (its cost is re-executing the
+application, possibly several times because failures are
+nondeterministic — footnote 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Protocol, Sequence
+
+from ..sim.faults import Intervention, InterventionSet
+from ..sim.scheduler import Simulator
+from .extraction import PredicateSuite
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """What one intervened execution showed.
+
+    ``observed`` holds the pids of all predicates that evaluated true on
+    the intervened run; ``failed`` tells whether the failure (same
+    signature) still occurred.  Both feed the pruning rule
+    (Definition 2).
+    """
+
+    observed: frozenset[str]
+    failed: bool
+    seed: int = 0
+
+
+class InterventionRunner(Protocol):
+    """One intervention round: repair ``pids``, re-run, report outcomes."""
+
+    def run_group(self, pids: frozenset[str]) -> Sequence[RunOutcome]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class InterventionBudget:
+    """Counts rounds and executions across one discovery session."""
+
+    rounds: int = 0
+    executions: int = 0
+    history: list[tuple[frozenset[str], bool]] = field(default_factory=list)
+
+    def record(self, pids: frozenset[str], outcomes: Sequence[RunOutcome]) -> None:
+        self.rounds += 1
+        self.executions += len(outcomes)
+        self.history.append((pids, any(o.failed for o in outcomes)))
+
+
+@dataclass
+class CountingRunner:
+    """Wraps a runner, recording every round on a shared budget."""
+
+    inner: InterventionRunner
+    budget: InterventionBudget = field(default_factory=InterventionBudget)
+
+    def run_group(self, pids: frozenset[str]) -> Sequence[RunOutcome]:
+        outcomes = self.inner.run_group(pids)
+        self.budget.record(pids, outcomes)
+        return outcomes
+
+
+class SimulationRunner:
+    """Intervention runner backed by the concurrency simulator.
+
+    Parameters
+    ----------
+    simulator:
+        Simulator for the target program.
+    suite:
+        Frozen predicate suite from the learning phase; used both to map
+        pids to fault injections and to evaluate predicates on the
+        intervened traces.
+    failure_pid:
+        The failure predicate F (an intervened run counts as "failed"
+        only if the *same* failure signature recurs — a different crash
+        is a different bug).
+    seeds:
+        Seeds to execute per round.  Pass the seeds that failed during
+        the learning phase first: replaying known-bad interleavings is
+        what makes a persisting failure show up quickly.
+    early_stop:
+        Stop the round at the first failing execution — a single
+        counter-example suffices for every pruning decision the
+        algorithms make (paper footnote 1).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        suite: PredicateSuite,
+        failure_pid: str,
+        seeds: Sequence[int],
+        early_stop: bool = True,
+    ) -> None:
+        if not seeds:
+            raise ValueError("SimulationRunner needs at least one seed")
+        self.simulator = simulator
+        self.suite = suite
+        self.failure_pid = failure_pid
+        self.seeds = list(seeds)
+        self.early_stop = early_stop
+
+    def interventions_for(self, pids: Iterable[str]) -> tuple[Intervention, ...]:
+        """Collect (deduplicated) fault injections repairing ``pids``."""
+        collected: list[Intervention] = []
+        seen: set[Intervention] = set()
+        for pid in sorted(pids):
+            for item in self.suite[pid].interventions():
+                if item not in seen:
+                    seen.add(item)
+                    collected.append(item)
+        return tuple(collected)
+
+    def run_group(self, pids: frozenset[str]) -> list[RunOutcome]:
+        injections = InterventionSet(self.interventions_for(pids))
+        outcomes: list[RunOutcome] = []
+        for seed in self.seeds:
+            result = self.simulator.run(seed, injections)
+            log = self.suite.evaluate(result.trace, seed=seed)
+            failed = log.observed(self.failure_pid)
+            outcomes.append(
+                RunOutcome(
+                    observed=frozenset(log.observations),
+                    failed=failed,
+                    seed=seed,
+                )
+            )
+            if failed and self.early_stop:
+                break
+        return outcomes
+
+
+@dataclass
+class ScriptedRunner:
+    """Deterministic runner for tests: outcomes scripted per pid-set.
+
+    ``script`` maps a frozenset of intervened pids to the outcomes to
+    return; ``default`` is returned for unscripted groups.  Useful for
+    unit-testing algorithm logic in isolation.
+    """
+
+    script: dict[frozenset[str], Sequence[RunOutcome]]
+    default: Optional[Sequence[RunOutcome]] = None
+
+    def run_group(self, pids: frozenset[str]) -> Sequence[RunOutcome]:
+        if pids in self.script:
+            return self.script[pids]
+        if self.default is not None:
+            return self.default
+        raise KeyError(f"no scripted outcome for intervention on {sorted(pids)}")

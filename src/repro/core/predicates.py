@@ -1,0 +1,559 @@
+"""Predicate model: runtime behaviours that AID reasons about.
+
+A *predicate* is a Boolean statement about one execution ("there is a
+data race on ``_nextSlot`` between ``TryGetValue`` and ``GetOrAdd``",
+"``Commit`` throws ObjectDisposed", …).  Every predicate class knows how
+to:
+
+* **evaluate** itself against an execution trace, returning an
+  :class:`Observation` (the time window in which it held) or ``None``;
+* **build its intervention** — the fault-injection recipe that forces it
+  to its successful-execution value (Figure 2, column 3);
+* report whether that intervention is **safe** for a given program
+  (Section 3.3: return-value and exception-handling interventions are
+  restricted to methods declared side-effect free).
+
+The predicate types implemented here are exactly the paper's Figure 2
+catalogue plus order violations, compound conjunctions (Section 3.2),
+and the failure-indicating predicate F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from ..sim.faults import (
+    CatchException,
+    DelayReturn,
+    ForceOrder,
+    ForceReturn,
+    Intervention,
+    MethodSelector,
+    SerializeMethods,
+)
+from ..sim.program import Program
+from ..sim.tracing import ExecutionTrace, MethodExecution, MethodKey
+
+
+class PredicateKind(str, Enum):
+    DATA_RACE = "data_race"
+    METHOD_FAILS = "method_fails"
+    TOO_SLOW = "too_slow"
+    TOO_FAST = "too_fast"
+    WRONG_RETURN = "wrong_return"
+    ORDER_VIOLATION = "order_violation"
+    EXECUTED = "executed"
+    COMPOUND_AND = "compound_and"
+    FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """The virtual-time window in which a predicate held on one trace.
+
+    ``start_lamport``/``end_lamport`` optionally carry the Lamport
+    timestamps of the anchoring events, for the logical-clock precedence
+    policy the paper suggests for environments where physical clocks are
+    too coarse or skewed (Section 4).
+    """
+
+    start: int
+    end: int
+    start_lamport: Optional[int] = None
+    end_lamport: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"observation ends before it starts: {self}")
+
+
+class PredicateDef:
+    """Base class for all predicate definitions.
+
+    Subclasses must set ``pid`` (stable id string), ``kind``, and
+    ``description`` and implement :meth:`evaluate` and
+    :meth:`interventions`.
+    """
+
+    pid: str
+    kind: PredicateKind
+    description: str
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        raise NotImplementedError
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        """Fault injections that force this predicate false."""
+        raise NotImplementedError
+
+    def is_safe(self, program: Program) -> bool:
+        """Whether the intervention has no unwanted side effects.
+
+        Timing and locking interventions are always safe; value-altering
+        ones require the target method to be declared read-only.
+        """
+        return True
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.pid}>"
+
+    def __hash__(self) -> int:
+        return hash(self.pid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PredicateDef) and other.pid == self.pid
+
+
+def _find(trace: ExecutionTrace, key: MethodKey) -> Optional[MethodExecution]:
+    return trace.lookup(key)
+
+
+@dataclass(frozen=True, eq=False)
+class DataRacePredicate(PredicateDef):
+    """Two method invocations access ``obj`` concurrently, one writing,
+    with disjoint locksets (lockset-style race definition)."""
+
+    a: MethodKey
+    b: MethodKey
+    obj: str
+
+    def __post_init__(self) -> None:
+        if self.b < self.a:  # canonical order for a stable pid
+            first, second = self.b, self.a
+            object.__setattr__(self, "a", first)
+            object.__setattr__(self, "b", second)
+
+    @property
+    def pid(self) -> str:
+        return f"race({self.obj})[{self.a}|{self.b}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.DATA_RACE
+
+    @property
+    def description(self) -> str:
+        return (
+            f"data race on {self.obj!r}: {self.a} and {self.b} access it "
+            f"concurrently without a common lock, at least one writing"
+        )
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        ma, mb = _find(trace, self.a), _find(trace, self.b)
+        if ma is None or mb is None or not ma.overlaps(mb):
+            return None
+        window = racy_window(ma, mb, self.obj)
+        return window
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        lock = f"__aid_lock__{self.obj}"
+        return (
+            SerializeMethods(
+                selectors=(
+                    MethodSelector.from_key(self.a),
+                    MethodSelector.from_key(self.b),
+                ),
+                lock_name=lock,
+            ),
+        )
+
+
+def racy_window(
+    ma: MethodExecution, mb: MethodExecution, obj: str
+) -> Optional[Observation]:
+    """Return the race window between two overlapping invocations, if any.
+
+    We use *interleaved-access* (sandwich) race semantics: a race exists
+    when one invocation accesses ``obj`` strictly between another
+    invocation's first and last accesses to ``obj``, the locksets of the
+    interleaved accesses are disjoint, and a write is involved.  The
+    intruding access observed (or corrupted) a half-completed update
+    protocol — precisely the situation the paper's Npgsql case study
+    crashes on.
+
+    This is deliberately stricter than happens-before race detection
+    ("any unordered conflicting pair"): near-miss overlaps that touch the
+    object before or after the whole update do not count.  Under
+    happens-before semantics, benign near-misses in successful runs make
+    the race predicate non-discriminative and SD discards it — the
+    stricter semantics keeps the predicate aligned with the harmful
+    interleaving, which is what the paper's hand-built race predicates
+    achieve (Figure 9c shows 100%/100%).
+
+    The reported window spans from the start of the interrupted protocol
+    to the intruding access.
+    """
+    best: Optional[Observation] = None
+    for outer, inner in ((ma, mb), (mb, ma)):
+        touches = [a for a in outer.accesses if a.obj == obj]
+        if len(touches) < 2:
+            continue
+        first, last = touches[0], touches[-1]
+        writes_involved = any(a.is_write for a in touches)
+        for intrusion in inner.accesses:
+            if intrusion.obj != obj:
+                continue
+            if not (first.time < intrusion.time < last.time):
+                continue
+            if not (writes_involved or intrusion.is_write):
+                continue
+            if intrusion.locks_held & (first.locks_held | last.locks_held):
+                continue
+            candidate = Observation(
+                first.time, intrusion.time,
+                start_lamport=first.lamport, end_lamport=intrusion.lamport,
+            )
+            if best is None or candidate.start < best.start:
+                best = candidate
+    return best
+
+
+@dataclass(frozen=True, eq=False)
+class MethodFailsPredicate(PredicateDef):
+    """Method invocation raises a (simulated) exception of ``exc_kind``."""
+
+    key: MethodKey
+    exc_kind: str
+    fallback: object = None
+
+    @property
+    def pid(self) -> str:
+        return f"fails({self.exc_kind})[{self.key}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.METHOD_FAILS
+
+    @property
+    def description(self) -> str:
+        return f"method {self.key} fails with {self.exc_kind}"
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        m = _find(trace, self.key)
+        if m is None or m.exception != self.exc_kind:
+            return None
+        return Observation(
+            m.end_time, m.end_time,
+            start_lamport=m.end_lamport, end_lamport=m.end_lamport,
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        return (
+            CatchException(
+                selector=MethodSelector.from_key(self.key), fallback=self.fallback
+            ),
+        )
+
+    def is_safe(self, program: Program) -> bool:
+        return self.key.method in program.readonly_methods
+
+
+@dataclass(frozen=True, eq=False)
+class TooSlowPredicate(PredicateDef):
+    """Invocation's duration exceeds the max seen in successful runs."""
+
+    key: MethodKey
+    threshold: int  # max duration over successful executions
+    correct_return: object = None
+
+    @property
+    def pid(self) -> str:
+        return f"slow[{self.key}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.TOO_SLOW
+
+    @property
+    def description(self) -> str:
+        return (
+            f"method {self.key} runs too slow "
+            f"(duration > {self.threshold} ticks seen in successful runs)"
+        )
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        m = _find(trace, self.key)
+        if m is None or m.duration <= self.threshold:
+            return None
+        # The slowness *begins* the instant the invocation exceeds its
+        # successful-duration envelope — not when the method finally
+        # returns.  Anchoring there keeps true causal edges in the
+        # AC-DAG: a slow callee's excess point precedes its slow
+        # caller's (the paper's Case 1), and a slow method's excess
+        # point precedes the order violations it provokes.
+        return Observation(
+            m.start_time + self.threshold, m.end_time,
+            start_lamport=m.start_lamport, end_lamport=m.end_lamport,
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        # "Prematurely return from M the correct value that M returns in
+        # all successful executions" (Figure 2).
+        return (
+            ForceReturn(
+                selector=MethodSelector.from_key(self.key),
+                value=self.correct_return,
+                skip_body=True,
+            ),
+        )
+
+    def is_safe(self, program: Program) -> bool:
+        return self.key.method in program.readonly_methods
+
+
+@dataclass(frozen=True, eq=False)
+class TooFastPredicate(PredicateDef):
+    """Invocation's duration is below the min seen in successful runs."""
+
+    key: MethodKey
+    threshold: int  # min duration over successful executions
+
+    @property
+    def pid(self) -> str:
+        return f"fast[{self.key}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.TOO_FAST
+
+    @property
+    def description(self) -> str:
+        return (
+            f"method {self.key} runs too fast "
+            f"(duration < {self.threshold} ticks seen in successful runs)"
+        )
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        m = _find(trace, self.key)
+        if m is None or m.duration >= self.threshold:
+            return None
+        return Observation(
+            m.start_time, m.end_time,
+            start_lamport=m.start_lamport, end_lamport=m.end_lamport,
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        # "Insert delay before M's return statement" (Figure 2).
+        return (
+            DelayReturn(
+                selector=MethodSelector.from_key(self.key), ticks=self.threshold
+            ),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class WrongReturnPredicate(PredicateDef):
+    """Invocation returns a value different from the successful one."""
+
+    key: MethodKey
+    correct_value: object
+
+    @property
+    def pid(self) -> str:
+        return f"wrongret[{self.key}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.WRONG_RETURN
+
+    @property
+    def description(self) -> str:
+        return (
+            f"method {self.key} returns an incorrect value "
+            f"(successful executions return {self.correct_value!r})"
+        )
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        m = _find(trace, self.key)
+        if m is None or m.exception is not None:
+            return None
+        if m.return_value == self.correct_value:
+            return None
+        return Observation(
+            m.end_time, m.end_time,
+            start_lamport=m.end_lamport, end_lamport=m.end_lamport,
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        return (
+            ForceReturn(
+                selector=MethodSelector.from_key(self.key),
+                value=self.correct_value,
+                skip_body=False,
+            ),
+        )
+
+    def is_safe(self, program: Program) -> bool:
+        return self.key.method in program.readonly_methods
+
+
+@dataclass(frozen=True, eq=False)
+class OrderViolationPredicate(PredicateDef):
+    """``second`` starts before ``first`` completes.
+
+    In all successful executions ``first`` finishes before ``second``
+    starts; the violation of that order is the misbehaviour.
+    """
+
+    first: MethodKey
+    second: MethodKey
+
+    @property
+    def pid(self) -> str:
+        return f"order[{self.second}<{self.first}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.ORDER_VIOLATION
+
+    @property
+    def description(self) -> str:
+        return (
+            f"order violation: {self.second} starts before {self.first} "
+            f"has completed (successful runs always order them)"
+        )
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        mf, ms = _find(trace, self.first), _find(trace, self.second)
+        if mf is None or ms is None:
+            return None
+        if ms.start_time >= mf.end_time:
+            return None
+        return Observation(
+            ms.start_time, min(mf.end_time, ms.end_time),
+            start_lamport=ms.start_lamport,
+            end_lamport=min(mf.end_lamport, ms.end_lamport),
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        return (
+            ForceOrder(
+                first=MethodSelector.from_key(self.first),
+                then=MethodSelector.from_key(self.second),
+            ),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class ExecutedPredicate(PredicateDef):
+    """The invocation ran (its body actually executed).
+
+    The paper's branch-taken predicates ("the program takes the false
+    branch at line 31") specialize to "this call happened" at our method
+    granularity.  Repaired by a skip-body forced return, which the trace
+    records via ``body_skipped`` so the predicate evaluates false on the
+    intervened run.
+    """
+
+    key: MethodKey
+    skip_value: object = None
+
+    @property
+    def pid(self) -> str:
+        return f"exec[{self.key}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.EXECUTED
+
+    @property
+    def description(self) -> str:
+        return f"method {self.key} executes (it never runs in successful executions)"
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        m = _find(trace, self.key)
+        if m is None or m.body_skipped:
+            return None
+        return Observation(
+            m.start_time, m.end_time,
+            start_lamport=m.start_lamport, end_lamport=m.end_lamport,
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        return (
+            ForceReturn(
+                selector=MethodSelector.from_key(self.key),
+                value=self.skip_value,
+                skip_body=True,
+            ),
+        )
+
+    def is_safe(self, program: Program) -> bool:
+        return self.key.method in program.readonly_methods
+
+
+@dataclass(frozen=True, eq=False)
+class CompoundAndPredicate(PredicateDef):
+    """Conjunction of predicates (Section 3.2, "Modeling nondeterminism").
+
+    Used when no single predicate is fully discriminative but a
+    conjunction is.  Observed when *all* parts are observed; intervened
+    by repairing every part (which certainly falsifies the conjunction).
+    """
+
+    parts: tuple[PredicateDef, ...]
+
+    @property
+    def pid(self) -> str:
+        return "and(" + "&".join(p.pid for p in self.parts) + ")"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.COMPOUND_AND
+
+    @property
+    def description(self) -> str:
+        return " AND ".join(p.description for p in self.parts)
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        obs = [p.evaluate(trace) for p in self.parts]
+        if any(o is None for o in obs):
+            return None
+        lamports = [o.start_lamport for o in obs]
+        return Observation(
+            max(o.start for o in obs),
+            max(o.end for o in obs),
+            start_lamport=(
+                max(lamports) if all(x is not None for x in lamports) else None
+            ),
+            end_lamport=None,
+        )
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        result: list[Intervention] = []
+        for p in self.parts:
+            result.extend(p.interventions())
+        return tuple(result)
+
+    def is_safe(self, program: Program) -> bool:
+        return all(p.is_safe(program) for p in self.parts)
+
+
+@dataclass(frozen=True, eq=False)
+class FailurePredicate(PredicateDef):
+    """The failure-indicating predicate F (one per failure signature)."""
+
+    signature: str
+
+    @property
+    def pid(self) -> str:
+        return f"FAILURE[{self.signature}]"
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.FAILURE
+
+    @property
+    def description(self) -> str:
+        return f"the execution fails with signature {self.signature!r}"
+
+    def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        if not trace.failed or trace.failure.signature != self.signature:
+            return None
+        t = trace.failure.time
+        return Observation(t, t)
+
+    def interventions(self) -> tuple[Intervention, ...]:
+        raise LookupError("the failure predicate F cannot be intervened on")

@@ -1,0 +1,92 @@
+"""Interventional pruning — the paper's Definition 2.
+
+Given executions ``R_C`` that intervene on a predicate group ``C``:
+
+* every ``C ∈ C`` is pruned iff some ``r ∈ R_C`` still fails
+  (an intervened counterfactual cause *cannot* co-exist with the
+  failure, so surviving failure proves non-causality);
+* any other predicate ``P ∉ C`` is pruned iff it does **not** reach any
+  intervened predicate in the AC-DAG (``P ̸⤳ C``; ancestors are exempt
+  because the intervention may have muted their effect) and some run
+  shows a counterfactual violation:
+  ``(P(r) ∧ ¬F(r)) ∨ (¬P(r) ∧ F(r))``.
+
+These checks are shared by GIWP and branch pruning, so they live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .intervention import RunOutcome
+
+
+@dataclass(frozen=True)
+class GroupItem:
+    """Unit of group intervention: a predicate or a branch disjunction.
+
+    ``predicates`` is the set of pids to repair when intervening on the
+    item (singleton for a plain predicate, all members for a branch —
+    a disjunction is false only when every disjunct is).  The item is
+    *observed* on a run when any of its predicates is.
+    """
+
+    pid: str
+    predicates: frozenset[str]
+
+    @classmethod
+    def single(cls, pid: str) -> "GroupItem":
+        return cls(pid=pid, predicates=frozenset({pid}))
+
+    @classmethod
+    def disjunction(cls, pid: str, members: frozenset[str]) -> "GroupItem":
+        return cls(pid=pid, predicates=members)
+
+    def observed(self, outcome: RunOutcome) -> bool:
+        return bool(self.predicates & outcome.observed)
+
+    def __str__(self) -> str:
+        return self.pid
+
+
+ReachesFn = Callable[[GroupItem, GroupItem], bool]
+
+
+def failure_stopped(outcomes: Sequence[RunOutcome]) -> bool:
+    """Whether no intervened execution exhibited the failure (Alg.1 l.6)."""
+    return not any(o.failed for o in outcomes)
+
+
+def counterfactual_violation(
+    item: GroupItem, outcomes: Sequence[RunOutcome]
+) -> bool:
+    """``∃r: (P(r) ∧ ¬F(r)) ∨ (¬P(r) ∧ F(r))`` (Alg.1 line 16)."""
+    for outcome in outcomes:
+        observed = item.observed(outcome)
+        if observed != outcome.failed:
+            return True
+    return False
+
+
+def observational_prunes(
+    candidates: Sequence[GroupItem],
+    intervened: Sequence[GroupItem],
+    outcomes: Sequence[RunOutcome],
+    reaches: ReachesFn,
+) -> list[GroupItem]:
+    """Definition 2 applied to the non-intervened candidates.
+
+    Returns the items to prune: those that reach no intervened item yet
+    show a counterfactual violation on some intervened run.
+    """
+    intervened_set = {i.pid for i in intervened}
+    pruned: list[GroupItem] = []
+    for item in candidates:
+        if item.pid in intervened_set:
+            continue
+        if any(reaches(item, target) for target in intervened):
+            continue  # ancestors' effects may be muted; never prune them
+        if counterfactual_violation(item, outcomes):
+            pruned.append(item)
+    return pruned

@@ -1,0 +1,112 @@
+"""Human-readable explanations of discovered causal paths.
+
+The paper's headline deliverable is not just the root cause but the
+*story*: "(1) two threads race on an index variable (2) the second
+thread accesses the array beyond its size (3) this throws
+IndexOutOfRange (4) the application fails to handle it and crashes."
+This module turns a :class:`~repro.core.discovery.DiscoveryResult` plus
+the predicate definitions into exactly that kind of numbered narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from .discovery import DiscoveryResult
+from .predicates import PredicateDef
+
+
+@dataclass(frozen=True)
+class ExplanationStep:
+    """One hop of the causal path."""
+
+    index: int
+    pid: str
+    description: str
+    role: str  # "root cause" | "effect" | "failure"
+
+
+@dataclass
+class Explanation:
+    """The causal path rendered as a numbered narrative."""
+
+    steps: list[ExplanationStep]
+    n_rounds: int
+    n_executions: int
+
+    @property
+    def root_cause(self) -> Optional[ExplanationStep]:
+        return self.steps[0] if len(self.steps) > 1 else None
+
+    def render(self) -> str:
+        if len(self.steps) <= 1:
+            return (
+                "No causal predicate was confirmed; the available "
+                "predicates do not explain the failure."
+            )
+        lines = ["Causal explanation of the failure:"]
+        for step in self.steps:
+            lines.append(f"  ({step.index}) [{step.role}] {step.description}")
+        lines.append(
+            f"Derived with {self.n_rounds} intervention rounds "
+            f"({self.n_executions} executions)."
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_sd_ranking(
+    stats: "list",
+    defs: Mapping[str, PredicateDef],
+    limit: int = 20,
+) -> str:
+    """What classic statistical debugging hands the developer.
+
+    A ranked list of predicates with precision/recall — no root cause
+    singled out, no causal story.  Rendered so examples and the CLI can
+    put the paper's motivating contrast (SD's flat list vs. AID's causal
+    path) side by side.
+    """
+    lines = ["Statistical debugging output (ranked by F1):"]
+    for stat in stats[:limit]:
+        pred = defs.get(stat.pid)
+        description = pred.description if pred is not None else stat.pid
+        lines.append(
+            f"  P={stat.precision:4.2f} R={stat.recall:4.2f}  {description}"
+        )
+    hidden = max(0, len(stats) - limit)
+    if hidden:
+        lines.append(f"  … and {hidden} more predicates")
+    lines.append(
+        "(every line is a *suspect*; SD leaves choosing and connecting "
+        "them to the developer)"
+    )
+    return "\n".join(lines)
+
+
+def explain(
+    result: DiscoveryResult, defs: Mapping[str, PredicateDef]
+) -> Explanation:
+    """Build an explanation from a discovery result."""
+    steps: list[ExplanationStep] = []
+    path = result.causal_path
+    for i, pid in enumerate(path):
+        if i == len(path) - 1:
+            role = "failure"
+        elif i == 0:
+            role = "root cause"
+        else:
+            role = "effect"
+        pred = defs.get(pid)
+        description = pred.description if pred is not None else pid
+        steps.append(
+            ExplanationStep(index=i + 1, pid=pid, description=description, role=role)
+        )
+    return Explanation(
+        steps=steps,
+        n_rounds=result.n_rounds,
+        n_executions=result.n_executions,
+    )

@@ -1,0 +1,151 @@
+"""Statistical debugging (SD): precision/recall over predicate logs.
+
+Given predicate logs labeled successful/failed, SD scores each predicate
+by how well it discriminates failures (paper Section 2):
+
+.. math::
+
+    \\text{precision}(P) =
+        \\frac{\\#\\text{failed executions where } P}{\\#\\text{executions where } P}
+    \\qquad
+    \\text{recall}(P) =
+        \\frac{\\#\\text{failed executions where } P}{\\#\\text{failed executions}}
+
+AID consumes only *fully-discriminative* predicates — precision and
+recall both 100% — because counterfactual causality is meaningless for a
+predicate that sometimes co-occurs with success (Sections 2-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from .predicates import Observation
+
+
+@dataclass
+class PredicateLog:
+    """All predicate observations from one execution."""
+
+    observations: Mapping[str, Observation]
+    failed: bool
+    seed: int = 0
+    failure_signature: Optional[str] = None
+
+    def observed(self, pid: str) -> bool:
+        return pid in self.observations
+
+    def time_of(self, pid: str) -> Optional[Observation]:
+        return self.observations.get(pid)
+
+
+@dataclass(frozen=True)
+class PredicateStats:
+    """Discriminative-power statistics for one predicate."""
+
+    pid: str
+    true_in_failed: int
+    true_in_success: int
+    n_failed: int
+    n_success: int
+
+    @property
+    def precision(self) -> float:
+        total_true = self.true_in_failed + self.true_in_success
+        return self.true_in_failed / total_true if total_true else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.true_in_failed / self.n_failed if self.n_failed else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def fully_discriminative(self) -> bool:
+        return self.precision == 1.0 and self.recall == 1.0 and self.n_failed > 0
+
+
+@dataclass
+class StatisticalDebugger:
+    """Computes SD statistics over a corpus of predicate logs."""
+
+    logs: list[PredicateLog] = field(default_factory=list)
+
+    def add(self, log: PredicateLog) -> None:
+        self.logs.append(log)
+
+    def extend(self, logs: Iterable[PredicateLog]) -> None:
+        self.logs.extend(logs)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for log in self.logs if log.failed)
+
+    @property
+    def n_success(self) -> int:
+        return len(self.logs) - self.n_failed
+
+    def all_pids(self) -> list[str]:
+        pids: set[str] = set()
+        for log in self.logs:
+            pids.update(log.observations)
+        return sorted(pids)
+
+    def stats(self) -> dict[str, PredicateStats]:
+        """Per-predicate precision/recall statistics."""
+        n_failed, n_success = self.n_failed, self.n_success
+        counts: dict[str, list[int]] = {pid: [0, 0] for pid in self.all_pids()}
+        for log in self.logs:
+            idx = 0 if log.failed else 1
+            for pid in log.observations:
+                counts[pid][idx] += 1
+        return {
+            pid: PredicateStats(
+                pid=pid,
+                true_in_failed=in_failed,
+                true_in_success=in_success,
+                n_failed=n_failed,
+                n_success=n_success,
+            )
+            for pid, (in_failed, in_success) in counts.items()
+        }
+
+    def discriminative(self, min_precision: float = 1.0, min_recall: float = 1.0):
+        """Predicates meeting the precision/recall thresholds, ranked.
+
+        With default thresholds this returns the *fully-discriminative*
+        set that feeds the AC-DAG.
+        """
+        selected = [
+            s
+            for s in self.stats().values()
+            if s.precision >= min_precision and s.recall >= min_recall
+        ]
+        return sorted(selected, key=lambda s: (-s.f1, s.pid))
+
+    def fully_discriminative_pids(self) -> list[str]:
+        return [s.pid for s in self.discriminative(1.0, 1.0)]
+
+    def ranked(self) -> list[PredicateStats]:
+        """All predicates ranked by F1 (classic SD output, for contrast).
+
+        This is what a traditional statistical debugger hands the
+        developer: a long list with no causal structure.  AID's
+        improvement over this list is the whole point of the paper.
+        """
+        return sorted(self.stats().values(), key=lambda s: (-s.f1, s.pid))
+
+
+def split_logs(
+    logs: Iterable[PredicateLog],
+) -> tuple[list[PredicateLog], list[PredicateLog]]:
+    """Partition logs into (successful, failed)."""
+    succ: list[PredicateLog] = []
+    fail: list[PredicateLog] = []
+    for log in logs:
+        (fail if log.failed else succ).append(log)
+    return succ, fail

@@ -1,0 +1,94 @@
+"""Debugging every failure signature of a program (paper Section 5.1).
+
+Real programs can fail in several distinct ways; failure trackers group
+failures by signature (stack/location), and AID debugs one group at a
+time under the single-root-cause assumption.  :func:`debug_all`
+automates the outer loop: collect one corpus, split the failures by
+signature, and run a full AID session per signature — the "multiple
+types of failures" direction the paper's conclusion sketches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.variants import Approach
+from ..sim.program import Program
+from .runner import LabeledCorpus, collect
+from .session import AIDSession, SessionConfig, SessionReport
+
+
+@dataclass
+class MultiSignatureReport:
+    """One AID report per failure signature, with corpus statistics."""
+
+    program: Program
+    reports: dict[str, SessionReport] = field(default_factory=dict)
+    signature_counts: Counter = field(default_factory=Counter)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def signatures(self) -> list[str]:
+        return sorted(self.reports)
+
+    def render(self) -> str:
+        lines = [f"Failure signatures of {self.program.name}:"]
+        for signature, count in self.signature_counts.most_common():
+            if signature in self.reports:
+                report = self.reports[signature]
+                root = report.discovery.root_cause or "(unexplained)"
+                lines.append(
+                    f"  {signature}  ×{count} — root cause: {root} "
+                    f"({report.n_rounds} rounds)"
+                )
+            else:
+                reason = self.skipped.get(signature, "skipped")
+                lines.append(f"  {signature}  ×{count} — {reason}")
+        return "\n".join(lines)
+
+
+def debug_all(
+    program: Program,
+    config: Optional[SessionConfig] = None,
+    min_failures: int = 10,
+    approach: Approach | str = Approach.AID,
+) -> MultiSignatureReport:
+    """Run AID once per failure signature found in a shared corpus.
+
+    Signatures with fewer than ``min_failures`` occurrences are reported
+    but not debugged (too few failed logs for SD to be meaningful —
+    collect more runs or raise ``config.n_fail``).
+    """
+    config = config or SessionConfig()
+    base = collect(
+        program,
+        n_success=config.n_success,
+        n_fail=config.n_fail,
+        start_seed=config.start_seed,
+        max_steps=config.max_steps,
+    )
+    result = MultiSignatureReport(
+        program=program,
+        signature_counts=Counter(
+            t.failure.signature for t in base.failures
+        ),
+    )
+    for signature, count in result.signature_counts.items():
+        if count < min_failures:
+            result.skipped[signature] = (
+                f"only {count} failed runs (< {min_failures}); not debugged"
+            )
+            continue
+        session = AIDSession(program, config)
+        # Seed the session with the pre-split corpus: same successes,
+        # only this signature's failures.
+        session._corpus = LabeledCorpus(
+            successes=list(base.successes),
+            failures=[
+                t for t in base.failures if t.failure.signature == signature
+            ],
+        )
+        result.reports[signature] = session.run(approach)
+    return result

@@ -1,0 +1,211 @@
+"""End-to-end AID sessions: the paper's Figure 1 workflow in one object.
+
+:class:`AIDSession` wires the full pipeline against a simulated program:
+
+    collect labeled traces → extract predicates → statistical debugging
+    → AC-DAG → causality-guided group interventions → causal path
+    → explanation
+
+``repro.debug(program)`` (see the package root) is a one-call wrapper
+around this class.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.acdag import ACDag
+from ..core.discovery import DiscoveryResult
+from ..core.extraction import Extractor, PredicateSuite
+from ..core.intervention import SimulationRunner
+from ..core.precedence import PrecedencePolicy, default_policy
+from ..core.report import Explanation, explain
+from ..core.statistical import PredicateLog, StatisticalDebugger
+from ..core.variants import Approach, discover
+from ..sim.program import Program
+from ..sim.scheduler import DEFAULT_MAX_STEPS, Simulator
+from .runner import LabeledCorpus, collect
+
+
+@dataclass
+class SessionConfig:
+    """Knobs for a debugging session (defaults mirror the paper)."""
+
+    n_success: int = 50
+    n_fail: int = 50
+    start_seed: int = 0
+    max_steps: int = DEFAULT_MAX_STEPS
+    #: executions per intervention round; known-failing seeds replayed
+    #: first (paper footnote 1: one counter-example suffices).
+    repeats: int = 25
+    rng_seed: int = 0
+    extractors: Optional[Sequence[Extractor]] = None
+    policy: Optional[PrecedencePolicy] = None
+
+
+@dataclass
+class SessionReport:
+    """Everything a session learned, for inspection and experiments."""
+
+    program: Program
+    corpus: LabeledCorpus
+    suite: PredicateSuite
+    debugger: StatisticalDebugger
+    fully_discriminative: list[str]
+    dag: ACDag
+    discovery: DiscoveryResult
+    explanation: Explanation
+    approach: Approach
+
+    @property
+    def n_sd_predicates(self) -> int:
+        """SD's output size (Figure 7 column 3): fully-discriminative
+        predicates, excluding the failure predicate itself."""
+        return len(self.fully_discriminative)
+
+    @property
+    def causal_path(self) -> list[str]:
+        return self.discovery.causal_path
+
+    @property
+    def n_causal(self) -> int:
+        """Causal path length excluding F (Figure 7 column 4)."""
+        return max(0, len(self.discovery.causal_path) - 1)
+
+    @property
+    def n_rounds(self) -> int:
+        return self.discovery.n_rounds
+
+
+class AIDSession:
+    """A full debugging session for one simulated program."""
+
+    def __init__(self, program: Program, config: Optional[SessionConfig] = None):
+        self.program = program
+        self.config = config or SessionConfig()
+        self._corpus: Optional[LabeledCorpus] = None
+        self._suite: Optional[PredicateSuite] = None
+        self._logs: Optional[list[PredicateLog]] = None
+        self._dag: Optional[ACDag] = None
+        self._failure_pid: Optional[str] = None
+        self._debugger: Optional[StatisticalDebugger] = None
+        self._fully: Optional[list[str]] = None
+
+    # -- pipeline stages (each cached, callable individually) -----------
+
+    def collect(self) -> LabeledCorpus:
+        """Stage 1: gather labeled traces (one failure signature)."""
+        if self._corpus is None:
+            cfg = self.config
+            corpus = collect(
+                self.program,
+                n_success=cfg.n_success,
+                n_fail=cfg.n_fail,
+                start_seed=cfg.start_seed,
+                max_steps=cfg.max_steps,
+            )
+            signature = corpus.dominant_failure_signature()
+            self._corpus = corpus.restrict_failures(signature)
+        return self._corpus
+
+    def analyze(self) -> StatisticalDebugger:
+        """Stages 2-3: predicate extraction + statistical debugging."""
+        if self._debugger is None:
+            corpus = self.collect()
+            self._suite = PredicateSuite.discover(
+                corpus.successes,
+                corpus.failures,
+                extractors=self.config.extractors,
+                program=self.program,
+            )
+            self._logs = self._suite.evaluate_all(
+                corpus.successes + corpus.failures
+            )
+            self._debugger = StatisticalDebugger(logs=self._logs)
+            failure_pids = [
+                pid
+                for pid in self._suite.failure_pids()
+                if any(
+                    log.observed(pid) for log in self._logs if log.failed
+                )
+            ]
+            if not failure_pids:
+                raise RuntimeError("no failure predicate was extracted")
+            self._failure_pid = failure_pids[0]
+            self._fully = [
+                pid
+                for pid in self._debugger.fully_discriminative_pids()
+                if pid != self._failure_pid
+                and pid not in set(self._suite.failure_pids())
+            ]
+        return self._debugger
+
+    @property
+    def failure_pid(self) -> str:
+        self.analyze()
+        return self._failure_pid
+
+    @property
+    def fully_discriminative(self) -> list[str]:
+        self.analyze()
+        return list(self._fully)
+
+    def build_dag(self) -> ACDag:
+        """Stage 4: temporal precedence → AC-DAG."""
+        if self._dag is None:
+            self.analyze()
+            failed_logs = [log for log in self._logs if log.failed]
+            self._dag = ACDag.build(
+                defs=dict(self._suite.defs),
+                failed_logs=failed_logs,
+                failure=self._failure_pid,
+                policy=self.config.policy or default_policy(),
+                candidate_pids=self._fully,
+            )
+        return self._dag
+
+    def make_runner(self) -> SimulationRunner:
+        """The fault-injecting intervention runner for this program."""
+        self.analyze()
+        corpus = self.collect()
+        seeds = corpus.failing_seeds[: self.config.repeats]
+        extra = self.config.repeats - len(seeds)
+        if extra > 0:
+            base = max(seeds, default=0) + 1_000_000
+            seeds = seeds + [base + i for i in range(extra)]
+        return SimulationRunner(
+            simulator=Simulator(self.program, max_steps=self.config.max_steps),
+            suite=self._suite,
+            failure_pid=self._failure_pid,
+            seeds=seeds,
+        )
+
+    def run(self, approach: Approach | str = Approach.AID) -> SessionReport:
+        """Stages 5-6: interventions, causal path, explanation."""
+        dag = self.build_dag()
+        runner = self.make_runner()
+        rng = random.Random(self.config.rng_seed)
+        discovery = discover(approach, dag, runner, rng=rng)
+        explanation = explain(discovery, self._suite.defs)
+        return SessionReport(
+            program=self.program,
+            corpus=self._corpus,
+            suite=self._suite,
+            debugger=self._debugger,
+            fully_discriminative=list(self._fully),
+            dag=dag,
+            discovery=discovery,
+            explanation=explanation,
+            approach=Approach(approach),
+        )
+
+
+def debug(
+    program: Program,
+    approach: Approach | str = Approach.AID,
+    config: Optional[SessionConfig] = None,
+) -> SessionReport:
+    """One-call AID: give it a flaky program, get root cause + story."""
+    return AIDSession(program, config=config).run(approach)

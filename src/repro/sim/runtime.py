@@ -1,0 +1,236 @@
+"""Shared-state runtime for one simulated execution.
+
+The :class:`Runtime` owns everything threads share: the variable store,
+locks (both program locks and injected intervention locks), the virtual
+clock, Lamport bookkeeping, the execution trace, and the registry of
+completed method invocations (used by order-forcing interventions).
+
+The scheduler (:mod:`repro.sim.scheduler`) drives threads; each primitive
+action a thread yields is executed here via :meth:`Runtime.perform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from .clock import LamportClock, LamportRegistry, VirtualClock
+from .errors import LockProtocolError
+from .faults import InterventionSet, MethodSelector
+from .program import (
+    AcquireAction,
+    Action,
+    JoinAction,
+    Program,
+    ReadAction,
+    ReleaseAction,
+    SleepAction,
+    SpawnAction,
+    WaitCompletedAction,
+    WriteAction,
+)
+from .tracing import Access, AccessType, ExecutionTrace, MethodKey
+
+
+@dataclass
+class Blocked:
+    """Signal from :meth:`Runtime.perform` that the thread must wait."""
+
+    reason: str  # "lock" | "join" | "event"
+    lock: Optional[str] = None
+    thread: Optional[str] = None
+    selector: Optional[MethodSelector] = None
+
+
+class Runtime:
+    """Mutable world state for a single execution."""
+
+    def __init__(
+        self,
+        program: Program,
+        interventions: InterventionSet,
+        seed: int,
+        trace: ExecutionTrace,
+    ) -> None:
+        self.program = program
+        self.interventions = interventions
+        self.seed = seed
+        self.trace = trace
+        self.clock = VirtualClock()
+        self.shared: dict[str, Any] = {k: v for k, v in program.shared.items()}
+        self.lock_owner: dict[str, Optional[str]] = {}
+        self.locks_held: dict[str, list[str]] = {}  # thread -> lock names
+        self.lamport: dict[str, LamportClock] = {}
+        self.registry = LamportRegistry()
+        self.completed: list[MethodKey] = []
+        self.finished_threads: set[str] = set()
+        self._stacks: dict[str, list[tuple[int, str]]] = {}  # thread -> frames
+
+    # -- thread lifecycle ------------------------------------------------
+
+    def register_thread(self, thread: str, spawned_by: Optional[str]) -> None:
+        self.lamport[thread] = LamportClock()
+        self.locks_held.setdefault(thread, [])
+        self._stacks.setdefault(thread, [])
+        if spawned_by is not None:
+            self.registry.observe(f"thread:{thread}", self.lamport[thread])
+
+    def thread_finished(self, thread: str) -> None:
+        self.finished_threads.add(thread)
+        self.registry.stamp(f"thread-done:{thread}", self.lamport[thread])
+
+    def abort_thread_calls(self, thread: str, exception: str) -> None:
+        """Close open frames of a crashing thread, innermost first.
+
+        Each unwound frame gets its own tick so the nesting order stays
+        visible in end times (inner calls fail strictly before their
+        callers), and the process-level failure — recorded by the
+        scheduler after this returns — lands at or after the outermost
+        frame's end.
+        """
+        stack = self._stacks.get(thread, [])
+        while stack:
+            call_id, __ = stack.pop()
+            self.clock.advance(1)
+            self.trace.end_call(
+                call_id, self.clock.now, self.lamport[thread].time, None, exception
+            )
+
+    def current_method(self, thread: str) -> Optional[str]:
+        stack = self._stacks.get(thread)
+        return stack[-1][1] if stack else None
+
+    # -- method tracing ----------------------------------------------------
+
+    def begin_method(self, thread: str, method: str) -> int:
+        # Call bookkeeping costs one tick: consecutive method boundaries
+        # in a synchronous chain (return → next call, or an exception
+        # unwinding through frames) get strictly increasing timestamps,
+        # which temporal precedence depends on.
+        self.clock.advance(1)
+        lamport = self.lamport[thread].tick()
+        parent = self._stacks[thread][-1][0] if self._stacks[thread] else None
+        call_id = self.trace.begin_call(
+            method, thread, self.clock.now, lamport, parent
+        )
+        self._stacks[thread].append((call_id, method))
+        return call_id
+
+    def end_method(
+        self,
+        thread: str,
+        call_id: int,
+        return_value: Any,
+        exception: Optional[str],
+        body_skipped: bool = False,
+    ) -> None:
+        self.clock.advance(1)  # return bookkeeping (see begin_method)
+        lamport = self.lamport[thread].tick()
+        record = self.trace.end_call(
+            call_id, self.clock.now, lamport, return_value, exception, body_skipped
+        )
+        frames = self._stacks[thread]
+        if frames and frames[-1][0] == call_id:
+            frames.pop()
+        self.completed.append(record.key)
+        self.registry.stamp(f"done:{record.key}", self.lamport[thread])
+
+    def is_completed(self, selector: MethodSelector) -> bool:
+        return any(selector.matches_key(key) for key in self.completed)
+
+    # -- primitive actions -------------------------------------------------
+
+    def perform(self, thread: str, action: Action) -> tuple[Any, Optional[Blocked]]:
+        """Execute one primitive action for ``thread``.
+
+        Returns ``(result, blocked)``.  If ``blocked`` is not None the
+        action did *not* run; the scheduler must retry it once the wait
+        condition clears.  Virtual time is owned by the scheduler: the
+        action's effects are stamped at the current clock value, and the
+        scheduler keeps the thread busy for the action's remaining cost.
+        """
+        if isinstance(action, AcquireAction):
+            owner = self.lock_owner.get(action.lock)
+            if owner is not None and owner != thread:
+                return None, Blocked(reason="lock", lock=action.lock)
+            if owner == thread:
+                raise LockProtocolError(
+                    f"{thread} re-acquired non-reentrant lock {action.lock!r}"
+                )
+            self.lock_owner[action.lock] = thread
+            self.locks_held[thread].append(action.lock)
+            self.registry.observe(f"lock:{action.lock}", self.lamport[thread])
+            return None, None
+
+        if isinstance(action, JoinAction):
+            if action.thread not in self.finished_threads:
+                return None, Blocked(reason="join", thread=action.thread)
+            self.registry.observe(
+                f"thread-done:{action.thread}", self.lamport[thread]
+            )
+            return None, None
+
+        if isinstance(action, WaitCompletedAction):
+            if not self.is_completed(action.selector):
+                return None, Blocked(reason="event", selector=action.selector)
+            self.lamport[thread].tick()
+            return None, None
+
+        if isinstance(action, ReadAction):
+            value = self.shared.get(action.var)
+            lamport = self.registry.observe(f"var:{action.var}", self.lamport[thread])
+            self._record_access(thread, action.var, AccessType.READ, lamport)
+            return value, None
+
+        if isinstance(action, WriteAction):
+            self.shared[action.var] = action.value
+            lamport = self.registry.stamp(f"var:{action.var}", self.lamport[thread])
+            self._record_access(thread, action.var, AccessType.WRITE, lamport)
+            return None, None
+
+        if isinstance(action, ReleaseAction):
+            if self.lock_owner.get(action.lock) != thread:
+                raise LockProtocolError(
+                    f"{thread} released lock {action.lock!r} it does not hold"
+                )
+            self.lock_owner[action.lock] = None
+            self.locks_held[thread].remove(action.lock)
+            self.registry.stamp(f"lock:{action.lock}", self.lamport[thread])
+            return None, None
+
+        if isinstance(action, SleepAction):
+            self.lamport[thread].tick()
+            return None, None
+
+        if isinstance(action, SpawnAction):
+            # The scheduler creates the thread; we only stamp causality.
+            self.registry.stamp(f"thread:{action.thread}", self.lamport[thread])
+            return None, None
+
+        raise TypeError(f"unknown action {action!r}")
+
+    def _record_access(
+        self, thread: str, var: str, access_type: AccessType, lamport: int
+    ) -> None:
+        frames = self._stacks[thread]
+        if not frames:
+            return
+        call_id, method = frames[-1]
+        self.trace.record_access(
+            Access(
+                obj=var,
+                access_type=access_type,
+                thread=thread,
+                method=method,
+                call_id=call_id,
+                time=self.clock.now,
+                lamport=lamport,
+                locks_held=frozenset(self.locks_held[thread]),
+            )
+        )
+
+    def release_all(self, thread: str) -> None:
+        """Free locks held by a crashed/finished thread (crash hygiene)."""
+        for lock in list(self.locks_held.get(thread, [])):
+            self.lock_owner[lock] = None
+            self.locks_held[thread].remove(lock)

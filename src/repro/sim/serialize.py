@@ -1,0 +1,189 @@
+"""Trace (de)serialization: JSON export/import of execution traces.
+
+The paper's pipeline separates online instrumentation from offline
+predicate extraction (Appendix A) — traces are collected once, shipped,
+and analyzed later, possibly with predicates designed after the fact.
+This module makes that workflow concrete: traces round-trip through a
+stable JSON schema, and the imported form supports everything the
+extraction layer needs (``method_executions``, ``lookup``, failure
+metadata), so a corpus can be debugged without re-running the program.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .tracing import (
+    Access,
+    AccessType,
+    ExecutionTrace,
+    FailureInfo,
+    MethodExecution,
+    MethodKey,
+)
+
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: ExecutionTrace) -> dict:
+    """Serialize a trace to plain JSON-compatible data."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "program": trace.program_name,
+        "seed": trace.seed,
+        "end_time": trace.end_time,
+        "failure": (
+            None
+            if trace.failure is None
+            else {
+                "mode": trace.failure.mode,
+                "exception": trace.failure.exception,
+                "method": trace.failure.method,
+                "thread": trace.failure.thread,
+                "time": trace.failure.time,
+            }
+        ),
+        "calls": [
+            {
+                "call_id": m.call_id,
+                "method": m.method,
+                "thread": m.thread,
+                "occurrence": m.occurrence,
+                "start_time": m.start_time,
+                "end_time": m.end_time,
+                "start_lamport": m.start_lamport,
+                "end_lamport": m.end_lamport,
+                "parent_call_id": m.parent_call_id,
+                "return_value": _jsonable(m.return_value),
+                "exception": m.exception,
+                "body_skipped": m.body_skipped,
+                "accesses": [
+                    {
+                        "obj": a.obj,
+                        "type": a.access_type.value,
+                        "time": a.time,
+                        "lamport": a.lamport,
+                        "locks": sorted(a.locks_held),
+                    }
+                    for a in m.accesses
+                ],
+            }
+            for m in trace.method_executions()
+        ],
+    }
+
+
+def trace_to_json(trace: ExecutionTrace, indent: Optional[int] = None) -> str:
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+class ImportedTrace:
+    """A deserialized trace, API-compatible with :class:`ExecutionTrace`
+    for everything the core pipeline reads."""
+
+    def __init__(
+        self,
+        program_name: str,
+        seed: int,
+        end_time: int,
+        failure: Optional[FailureInfo],
+        calls: list[MethodExecution],
+    ) -> None:
+        self.program_name = program_name
+        self.seed = seed
+        self.end_time = end_time
+        self.failure = failure
+        self._calls = sorted(calls, key=lambda m: (m.start_time, m.call_id))
+        self._by_key = {m.key: m for m in self._calls}
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def method_executions(self) -> list[MethodExecution]:
+        return list(self._calls)
+
+    def executions_of(self, method: str):
+        return (m for m in self._calls if m.method == method)
+
+    def lookup(self, key: MethodKey) -> Optional[MethodExecution]:
+        return self._by_key.get(key)
+
+    def accesses(self):
+        for m in self._calls:
+            yield from m.accesses
+
+    def objects_accessed(self) -> set[str]:
+        return {a.obj for a in self.accesses()}
+
+
+def trace_from_dict(payload: dict) -> ImportedTrace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {payload.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    failure = None
+    if payload["failure"] is not None:
+        f = payload["failure"]
+        failure = FailureInfo(
+            mode=f["mode"],
+            exception=f["exception"],
+            method=f["method"],
+            thread=f["thread"],
+            time=f["time"],
+        )
+    calls = []
+    for c in payload["calls"]:
+        accesses = tuple(
+            Access(
+                obj=a["obj"],
+                access_type=AccessType(a["type"]),
+                thread=c["thread"],
+                method=c["method"],
+                call_id=c["call_id"],
+                time=a["time"],
+                lamport=a["lamport"],
+                locks_held=frozenset(a["locks"]),
+            )
+            for a in c["accesses"]
+        )
+        calls.append(
+            MethodExecution(
+                call_id=c["call_id"],
+                method=c["method"],
+                thread=c["thread"],
+                occurrence=c["occurrence"],
+                start_time=c["start_time"],
+                end_time=c["end_time"],
+                start_lamport=c["start_lamport"],
+                end_lamport=c["end_lamport"],
+                parent_call_id=c["parent_call_id"],
+                return_value=c["return_value"],
+                exception=c["exception"],
+                accesses=accesses,
+                body_skipped=c["body_skipped"],
+            )
+        )
+    return ImportedTrace(
+        program_name=payload["program"],
+        seed=payload["seed"],
+        end_time=payload["end_time"],
+        failure=failure,
+        calls=calls,
+    )
+
+
+def trace_from_json(text: str) -> ImportedTrace:
+    return trace_from_dict(json.loads(text))
+
+
+def _jsonable(value: object) -> object:
+    """Return-value coercion: anything non-JSON becomes its repr."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return repr(value)

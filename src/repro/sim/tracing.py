@@ -1,0 +1,256 @@
+"""Execution-trace schema: the contract between simulator and AID core.
+
+The paper's instrumentation (Appendix A, Figure 9b) records, per executed
+method: start/end time, thread id, ids of accessed objects with access
+type, return value, and whether it threw an exception.  AID's predicate
+extraction consumes only this trace — it never looks inside the program.
+This module defines exactly that schema for the simulator.
+
+A trace is append-only during execution and post-processed once into
+:class:`MethodExecution` records (the "method execution signature list"
+of Figure 9b) by :meth:`ExecutionTrace.method_executions`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Optional
+
+
+class AccessType(str, Enum):
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read or write of a shared object."""
+
+    obj: str
+    access_type: AccessType
+    thread: str
+    method: str
+    call_id: int
+    time: int
+    lamport: int
+    locks_held: frozenset[str]
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type is AccessType.WRITE
+
+
+@dataclass(frozen=True)
+class MethodExecution:
+    """One completed (or crashed) invocation of a simulated method.
+
+    ``occurrence`` is the 0-based index of this invocation among all
+    invocations of ``method`` by the same thread, in program order.  The
+    paper maps repeated executions of the same statement to separate
+    predicates by relative order of appearance (Section 4); occurrence
+    numbers are the simulator's realization of that.
+    """
+
+    call_id: int
+    method: str
+    thread: str
+    occurrence: int
+    start_time: int
+    end_time: int
+    start_lamport: int
+    end_lamport: int
+    parent_call_id: Optional[int]
+    return_value: object
+    exception: Optional[str]
+    accesses: tuple[Access, ...] = ()
+    #: True when a skip-body intervention replaced the method's body.
+    body_skipped: bool = False
+
+    @property
+    def duration(self) -> int:
+        return self.end_time - self.start_time
+
+    @property
+    def failed(self) -> bool:
+        return self.exception is not None
+
+    @property
+    def key(self) -> "MethodKey":
+        return MethodKey(self.method, self.thread, self.occurrence)
+
+    def overlaps(self, other: "MethodExecution") -> bool:
+        """Whether the two method windows overlap in virtual time."""
+        return self.start_time < other.end_time and other.start_time < self.end_time
+
+
+@dataclass(frozen=True, order=True)
+class MethodKey:
+    """Stable cross-execution identity of a method invocation."""
+
+    method: str
+    thread: str
+    occurrence: int
+
+    def __str__(self) -> str:
+        return f"{self.thread}:{self.method}#{self.occurrence}"
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Signature of a failed execution.
+
+    Failures with the same signature are assumed to share a root cause
+    (paper Section 5.1: failure trackers group by signature); AID runs
+    against one signature at a time.
+    """
+
+    mode: str  # SimulationFault.* value
+    exception: Optional[str]  # simulated exception kind, if a crash
+    method: Optional[str]  # method in which the failure surfaced
+    thread: Optional[str]
+    time: int = 0
+
+    @property
+    def signature(self) -> str:
+        parts = [self.mode]
+        if self.exception:
+            parts.append(self.exception)
+        if self.method:
+            parts.append(self.method)
+        return "/".join(parts)
+
+
+class ExecutionTrace:
+    """Raw event log of one simulated execution."""
+
+    def __init__(self, program_name: str, seed: int) -> None:
+        self.program_name = program_name
+        self.seed = seed
+        self._call_ids = itertools.count()
+        self._open_calls: dict[int, dict] = {}
+        self._occurrences: dict[tuple[str, str], int] = {}
+        self._completed: list[MethodExecution] = []
+        self._accesses_by_call: dict[int, list[Access]] = {}
+        self.failure: Optional[FailureInfo] = None
+        self.end_time: int = 0
+
+    # -- recording -----------------------------------------------------
+
+    def begin_call(
+        self,
+        method: str,
+        thread: str,
+        time: int,
+        lamport: int,
+        parent_call_id: Optional[int],
+    ) -> int:
+        call_id = next(self._call_ids)
+        occurrence = self._occurrences.get((thread, method), 0)
+        self._occurrences[(thread, method)] = occurrence + 1
+        self._open_calls[call_id] = {
+            "method": method,
+            "thread": thread,
+            "occurrence": occurrence,
+            "start_time": time,
+            "start_lamport": lamport,
+            "parent": parent_call_id,
+        }
+        self._accesses_by_call[call_id] = []
+        return call_id
+
+    def peek_occurrence(self, thread: str, method: str) -> int:
+        """The occurrence index the *next* call of ``method`` will get."""
+        return self._occurrences.get((thread, method), 0)
+
+    def end_call(
+        self,
+        call_id: int,
+        time: int,
+        lamport: int,
+        return_value: object,
+        exception: Optional[str],
+        body_skipped: bool = False,
+    ) -> MethodExecution:
+        info = self._open_calls.pop(call_id)
+        record = MethodExecution(
+            call_id=call_id,
+            method=info["method"],
+            thread=info["thread"],
+            occurrence=info["occurrence"],
+            start_time=info["start_time"],
+            end_time=time,
+            start_lamport=info["start_lamport"],
+            end_lamport=lamport,
+            parent_call_id=info["parent"],
+            return_value=return_value,
+            exception=exception,
+            accesses=tuple(self._accesses_by_call.pop(call_id)),
+            body_skipped=body_skipped,
+        )
+        self._completed.append(record)
+        return record
+
+    def record_access(self, access: Access) -> None:
+        if access.call_id in self._accesses_by_call:
+            self._accesses_by_call[access.call_id].append(access)
+
+    def abort_open_calls(self, time: int, lamport: int, exception: str) -> None:
+        """Close any still-open frames when a thread dies abruptly."""
+        for call_id in sorted(self._open_calls, reverse=True):
+            self.end_call(call_id, time, lamport, None, exception)
+
+    def record_failure(self, failure: FailureInfo) -> None:
+        # Keep the earliest failure; a crash may cascade.
+        if self.failure is None:
+            self.failure = failure
+
+    # -- reading -------------------------------------------------------
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def method_executions(self) -> list[MethodExecution]:
+        """The signature list of Figure 9b, ordered by start time."""
+        return sorted(self._completed, key=lambda m: (m.start_time, m.call_id))
+
+    def executions_of(self, method: str) -> Iterator[MethodExecution]:
+        return (m for m in self.method_executions() if m.method == method)
+
+    def lookup(self, key: MethodKey) -> Optional[MethodExecution]:
+        for m in self._completed:
+            if m.key == key:
+                return m
+        return None
+
+    def accesses(self) -> Iterator[Access]:
+        for m in self.method_executions():
+            yield from m.accesses
+
+    def objects_accessed(self) -> set[str]:
+        return {a.obj for a in self.accesses()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        status = f"FAILED({self.failure.signature})" if self.failed else "ok"
+        return (
+            f"<ExecutionTrace {self.program_name} seed={self.seed} "
+            f"{len(self._completed)} calls {status}>"
+        )
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated execution."""
+
+    trace: ExecutionTrace
+    steps: int
+
+    @property
+    def failed(self) -> bool:
+        return self.trace.failed
+
+    @property
+    def failure(self) -> Optional[FailureInfo]:
+        return self.trace.failure

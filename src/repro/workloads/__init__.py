@@ -1,0 +1,26 @@
+"""``repro.workloads`` — the six case studies plus the synthetic generator."""
+
+from . import buildandtest, cosmosdb, healthtelemetry, kafka, network, npgsql  # noqa: F401
+from .common import REGISTRY, PaperRow, Workload
+from .synthetic import (
+    FAILURE_PID,
+    OracleRunner,
+    SyntheticApp,
+    SyntheticSpec,
+    generate_app,
+    generate_batch,
+    spec_for_maxt,
+)
+
+__all__ = [
+    "FAILURE_PID",
+    "OracleRunner",
+    "PaperRow",
+    "REGISTRY",
+    "SyntheticApp",
+    "SyntheticSpec",
+    "Workload",
+    "generate_app",
+    "generate_batch",
+    "spec_for_maxt",
+]

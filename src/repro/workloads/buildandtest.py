@@ -1,0 +1,186 @@
+"""Case study 5: "BuildAndTest" — CI build/test platform (proprietary).
+
+The paper reports an internal build-and-test platform whose intermittent
+failure was an *order violation of two events*.  Model: a builder thread
+compiles while a packager thread waits for the compile to land and then
+packages the artifacts.  The packager's wait is a misconfigured fixed
+timeout — under the short draw it gives up before the compile finishes
+(the paper-cited flaky-test pattern: "the test does not wait properly
+for asynchronous calls"), packages a partial artifact set, and the test
+run fails.
+
+Ground-truth causal path (3 predicates, as in Figure 7):
+
+    order[CompileStep ≺ PackageStep violated]
+    → wrongret[CollectArtifacts] → fails(TestFailure)[RunTests] → F
+"""
+
+from __future__ import annotations
+
+from ..sim.program import Program
+from .common import REGISTRY, PaperRow, Workload, add_diag_worker
+
+#: Compile duration (with mild jitter).
+COMPILE_TICKS = 150
+COMPILE_JITTER = 15
+#: The packager's wait-for-compile: the long draw is safe, the short
+#: draw fires before the compile lands (the bug).  Discrete dichotomy →
+#: crisp predicates.
+PATIENT_WAIT_TICKS = 300
+IMPATIENT_WAIT_TICKS = 50
+IMPATIENT_PROBABILITY = 0.3
+
+
+def _ci_main(ctx):
+    impatient = ctx.rand() < IMPATIENT_PROBABILITY
+    ctx.poke("wait_ticks", IMPATIENT_WAIT_TICKS if impatient else PATIENT_WAIT_TICKS)
+    yield from ctx.spawn("builder", "BuildJob")
+    yield from ctx.spawn("packager", "PackageJob")
+    yield from ctx.join("builder")
+    yield from ctx.join("packager")
+    return "pipeline-done"
+
+
+def _build_job(ctx):
+    yield from ctx.call("CompileStep")
+    return "built"
+
+
+def _compile_step(ctx):
+    yield from ctx.work(COMPILE_TICKS + ctx.randint(0, COMPILE_JITTER))
+    ctx.poke("compile_done", True)
+    yield from ctx.work(2)
+    return "compiled"
+
+
+def _package_job(ctx):
+    # The misconfigured wait lives in this (non-read-only) wrapper, so
+    # its duration predicates are unsafe to intervene and drop out —
+    # the order violation below is the predicate that captures the bug.
+    yield from ctx.work(ctx.peek("wait_ticks"))
+    yield from ctx.call("PackageStep")
+    return "packaged"
+
+
+def _package_step(ctx):
+    artifacts = yield from ctx.call("CollectArtifacts")
+    partial = artifacts != "complete"
+    yield from ctx.call("GetArtifactCount", partial)
+    yield from ctx.call("VerifyManifest", partial)
+    if partial:
+        yield from ctx.call("EnterPartialMode")
+        yield from ctx.spawn("diagB", "DiagBuildGraphWorker")
+        yield from ctx.spawn("diagT", "DiagTestBedWorker")
+        yield from ctx.join("diagB")
+        yield from ctx.join("diagT")
+    yield from ctx.call("RunTests", artifacts)
+    return "package-ok"
+
+
+def _collect_artifacts(ctx):
+    yield from ctx.work(4)
+    done = ctx.peek("compile_done")
+    return "complete" if done else "partial"
+
+
+def _get_artifact_count(ctx, partial):
+    yield from ctx.work(2)
+    return 3 if partial else 12
+
+
+def _verify_manifest(ctx, partial):
+    yield from ctx.work(80 if partial else 5)
+    return "verified"
+
+
+def _enter_partial_mode(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _run_tests(ctx, artifacts):
+    yield from ctx.work(6)
+    if artifacts != "complete":
+        ctx.throw("TestFailure", "tests ran against partial artifacts")
+    return "tests-green"
+
+
+def build() -> Workload:
+    methods = {
+        "CiMain": _ci_main,
+        "BuildJob": _build_job,
+        "CompileStep": _compile_step,
+        "PackageJob": _package_job,
+        "PackageStep": _package_step,
+        "CollectArtifacts": _collect_artifacts,
+        "GetArtifactCount": _get_artifact_count,
+        "VerifyManifest": _verify_manifest,
+        "EnterPartialMode": _enter_partial_mode,
+        "RunTests": _run_tests,
+    }
+    diag_probes = {
+        "DiagBuildGraphWorker": [
+            ("ProbeGraphNodes", None),
+            ("ProbeGraphHashes", "ProbeError"),
+            ("ProbeGraphCache", None),
+            ("ProbeGraphDeps", None),
+            ("ProbeGraphToolchain", "ProbeError"),
+        ],
+        "DiagTestBedWorker": [
+            ("ProbeBedImage", None),
+            ("ProbeBedQuota", "ProbeError"),
+            ("ProbeBedAgents", None),
+            ("ProbeBedArtifacts", None),
+            ("ProbeBedSymbols", "ProbeError"),
+            ("ProbeBedLogs", None),
+            ("ProbeBedNetwork", None),
+        ],
+    }
+    for worker, probes in diag_probes.items():
+        add_diag_worker(methods, worker, probes)
+
+    readonly = frozenset(
+        name
+        for name in methods
+        if name.startswith(("Probe", "Diag", "Get", "Check"))
+    ) | frozenset(
+        {
+            # PackageStep itself assembles package output (mutating), so
+            # it is deliberately NOT read-only: its method-fails
+            # predicate is unsafe to intervene and drops out, leaving
+            # RunTests as the failure-side causal predicate.
+            "CollectArtifacts",
+            "VerifyManifest",
+            "EnterPartialMode",
+            "RunTests",
+        }
+    )
+    program = Program(
+        name="buildandtest-ci",
+        methods=methods,
+        main="CiMain",
+        shared={},
+        readonly_methods=readonly,
+        description="CI order violation: packaging starts before compile lands",
+    )
+    return Workload(
+        name="buildandtest",
+        program=program,
+        paper=PaperRow(
+            github_issue="(proprietary)",
+            sd_predicates=25,
+            causal_path_len=3,
+            aid_interventions=10,
+            tagt_interventions=15,
+        ),
+        expected_path_markers=(
+            "order[",
+            "wrongret[packager:CollectArtifacts#0]",
+            "fails(TestFailure)[packager:RunTests#0]",
+        ),
+        root_marker="order[",
+        description="order violation between compile and package steps",
+    )
+
+
+REGISTRY.register("buildandtest")(build)

@@ -1,0 +1,260 @@
+"""Case study 3: Azure Cosmos DB cache-expiry timing bug (PR #713).
+
+The real bug: the application populates a cache whose entries expire
+after one second, performs a few tasks, and then reads a cached entry.
+Normally the tasks finish well inside the expiry window; when a
+transient fault triggers the expensive fault-handling path, the task
+overruns the window, the entry has already expired, and the application
+fails on the miss.
+
+Ground-truth causal path (7 predicates, as in Figure 7):
+
+    fails(TransientFault)[SendRequest] → exec[HandleFault]
+    → slow[ProcessTask#1] → slow[RunTasks] → wrongret[CacheLookup]
+    → fails(KeyNotFound)[UseEntry] → fails(KeyNotFound)[FinishOrder] → F
+
+Every hop is counterfactually gating: catching the transient fault,
+skipping the fault handler, fast-forwarding either slow task wrapper,
+repairing the lookup, or catching either downstream exception all
+prevent the failure.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import SimulatedError
+from ..sim.program import Program
+from .common import REGISTRY, PaperRow, Workload, add_diag_worker
+
+#: Cache entries expire this long after PopulateCache (the "1 second").
+#: Comfortably above the worst-case healthy run (~230 ticks) and far
+#: below any run that walked the 400-tick fault handler.
+CACHE_EXPIRY_TICKS = 300
+#: Normal per-task cost, with mild per-seed jitter.
+TASK_TICKS = 40
+TASK_JITTER = 25
+#: The expensive fault-handling path (retries, backoff) — far beyond
+#: the expiry window on its own.
+FAULT_HANDLING_TICKS = 400
+#: Probability that the request hits a transient fault (intermittency).
+TRANSIENT_FAULT_PROBABILITY = 0.25
+
+
+def _app_main(ctx):
+    yield from ctx.call("PopulateCache")
+    yield from ctx.call("RunTasks")
+    yield from ctx.call("FinishOrder")
+    return "done"
+
+
+def _populate_cache(ctx):
+    yield from ctx.work(3)
+    yield from ctx.write("cache_filled_at", ctx.now())
+    return "populated"
+
+
+def _run_tasks(ctx):
+    for i in range(3):
+        yield from ctx.call("ProcessTask", i)
+    return "tasks-done"
+
+
+def _process_task(ctx, index):
+    yield from ctx.work(TASK_TICKS + ctx.randint(0, TASK_JITTER))
+    if index == 1:
+        # The middle task performs the backend request that may hit a
+        # transient fault.
+        try:
+            yield from ctx.call("SendRequest")
+            yield from ctx.call("ProcessResponse")
+        except SimulatedError:
+            yield from ctx.call("HandleFault")
+    return f"task-{index}"
+
+
+def _send_request(ctx):
+    yield from ctx.work(5)
+    if ctx.rand() < TRANSIENT_FAULT_PROBABILITY:
+        ctx.throw("TransientFault", "backend hiccup")
+    return "sent"
+
+
+def _process_response(ctx):
+    """Successful-path response processing.
+
+    This step exists on the success branch only, which keeps the
+    too-slow threshold of ``ProcessTask#1`` well above its duration when
+    the fault handler is skipped by an intervention — the predicate
+    stays crisp under every intervention combination.
+    """
+    yield from ctx.work(30)
+    return "processed"
+
+
+def _handle_fault(ctx):
+    """Expensive fault handling: retries with backoff (the time sink)."""
+    yield from ctx.work(FAULT_HANDLING_TICKS)
+    yield from ctx.spawn("diagT", "DiagTelemetryWorker")
+    yield from ctx.spawn("diagR", "DiagRetryWorker")
+    yield from ctx.spawn("diagC", "DiagClientWorker")
+    yield from ctx.spawn("diagK", "DiagCacheWorker")
+    yield from ctx.spawn("diagS", "DiagSnapshotWorker")
+    yield from ctx.join("diagT")
+    yield from ctx.join("diagR")
+    yield from ctx.join("diagC")
+    yield from ctx.join("diagK")
+    yield from ctx.join("diagS")
+    return "handled"
+
+
+def _finish_order(ctx):
+    entry = yield from ctx.call("CacheLookup")
+    yield from ctx.call("UseEntry", entry)
+    return "finished"
+
+
+def _cache_lookup(ctx):
+    filled_at = yield from ctx.read("cache_filled_at")
+    yield from ctx.work(2)
+    if ctx.now() - filled_at > CACHE_EXPIRY_TICKS:
+        return None  # entry expired
+    return "order-entry"
+
+
+def _use_entry(ctx, entry):
+    yield from ctx.work(2)
+    if entry is None:
+        yield from ctx.call("GetCacheStats", True)
+        yield from ctx.call("ValidateOrderState", True)
+        ctx.throw("KeyNotFound", "cached order entry expired")
+    yield from ctx.call("GetCacheStats", False)
+    yield from ctx.call("ValidateOrderState", False)
+    return "used"
+
+
+def _get_cache_stats(ctx, missed):
+    yield from ctx.work(2)
+    return "miss" if missed else "hit"
+
+
+def _validate_order_state(ctx, missed):
+    yield from ctx.work(70 if missed else 3)
+    return "validated"
+
+
+def build() -> Workload:
+    methods = {
+        "AppMain": _app_main,
+        "PopulateCache": _populate_cache,
+        "RunTasks": _run_tasks,
+        "ProcessTask": _process_task,
+        "SendRequest": _send_request,
+        "ProcessResponse": _process_response,
+        "HandleFault": _handle_fault,
+        "FinishOrder": _finish_order,
+        "CacheLookup": _cache_lookup,
+        "UseEntry": _use_entry,
+        "GetCacheStats": _get_cache_stats,
+        "ValidateOrderState": _validate_order_state,
+    }
+    diag_probes = {
+        "DiagTelemetryWorker": [
+            ("ProbeLatencyHist", None),
+            ("ProbeRequestUnits", "ProbeError"),
+            ("ProbePartitionMap", None),
+            ("ProbeThrottleState", None),
+            ("ProbeRegionHealth", "ProbeError"),
+            ("ProbeSdkCounters", None),
+            ("ProbeGatewayPing", None),
+        ],
+        "DiagRetryWorker": [
+            ("ProbeRetryBudget", None),
+            ("ProbeBackoffCurve", "ProbeError"),
+            ("ProbeIdempotency", None),
+            ("ProbeCircuitState", None),
+            ("ProbeTimeoutConfig", "ProbeError"),
+            ("ProbeRetryQueue", None),
+            ("ProbeFailurePoint", None),
+        ],
+        "DiagClientWorker": [
+            ("ProbeConnMode", None),
+            ("ProbeSessionToken", "ProbeError"),
+            ("ProbeConsistency", None),
+            ("ProbeEndpointCache", None),
+            ("ProbeClientVersion", "ProbeError"),
+            ("ProbeAuthScope", None),
+        ],
+        "DiagCacheWorker": [
+            ("ProbeCacheSize", None),
+            ("ProbeCacheTtl", "ProbeError"),
+            ("ProbeCacheHitRate", None),
+            ("ProbeCacheEviction", None),
+            ("ProbeCacheShards", "ProbeError"),
+            ("ProbeCacheKeys", None),
+            ("ProbeCacheMemory", "ProbeError"),
+            ("ProbeCacheClock", None),
+            ("ProbeCacheWarmup", "ProbeError"),
+        ],
+        "DiagSnapshotWorker": [
+            ("ProbeSnapshotLsn", None),
+            ("ProbeSnapshotAge", "ProbeError"),
+            ("ProbeSnapshotDiff", None),
+            ("ProbeSnapshotRoot", None),
+            ("ProbeSnapshotRefs", "ProbeError"),
+            ("ProbeSnapshotLag", None),
+            ("ProbeSnapshotPins", None),
+            ("ProbeSnapshotMeta", "ProbeError"),
+        ],
+    }
+    for worker, probes in diag_probes.items():
+        add_diag_worker(methods, worker, probes)
+
+    readonly = frozenset(
+        name
+        for name in methods
+        if name.startswith(("Probe", "Diag", "Get", "Check"))
+    ) | frozenset(
+        {
+            "SendRequest",
+            "ProcessResponse",
+            "HandleFault",
+            "ProcessTask",
+            "RunTasks",
+            "CacheLookup",
+            "UseEntry",
+            "FinishOrder",
+            "ValidateOrderState",
+        }
+    )
+    program = Program(
+        name="cosmosdb-713",
+        methods=methods,
+        main="AppMain",
+        shared={"cache_filled_at": 0},
+        readonly_methods=readonly,
+        description="Cosmos DB cache-expiry timing bug (PR #713 model)",
+    )
+    return Workload(
+        name="cosmosdb",
+        program=program,
+        paper=PaperRow(
+            github_issue="Azure/azure-cosmos-dotnet-v3#713",
+            sd_predicates=64,
+            causal_path_len=7,
+            aid_interventions=15,
+            tagt_interventions=42,
+        ),
+        expected_path_markers=(
+            "fails(TransientFault)[main:SendRequest#0]",
+            "exec[main:HandleFault#0]",
+            "slow[main:ProcessTask#1]",
+            "slow[main:RunTasks#0]",
+            "wrongret[main:CacheLookup#0]",
+            "fails(KeyNotFound)[main:UseEntry#0]",
+            "fails(KeyNotFound)[main:FinishOrder#0]",
+        ),
+        root_marker="fails(TransientFault)[main:SendRequest#0]",
+        description="transient fault → expensive handling → cache expiry → crash",
+    )
+
+
+REGISTRY.register("cosmosdb")(build)

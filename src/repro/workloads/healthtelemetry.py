@@ -1,0 +1,309 @@
+"""Case study 6: "HealthTelemetry" — runtime-health reporting module.
+
+The paper reports a Microsoft-internal telemetry module used by many
+services; its intermittent failure was a *race condition*, the largest
+of the six studies (93 discriminative predicates, a 10-predicate causal
+path, AID 40 vs. TAGT 70 interventions).
+
+Model: a collector thread periodically flushes the telemetry buffer via
+a two-write protocol (``flushing`` → ``ready``); a reporter thread
+appends a record, reading the buffer state without synchronization.
+When the read lands inside the flush window, the reporter enters a long
+degraded pipeline — every stage counterfactually gating — that ends in
+a buffer-corruption crash while publishing the health report.
+
+Ground-truth causal path (10 predicates):
+
+    race(buffer_state) → wrongret[CheckBufferState]
+    → exec[EnterDegradedMode] → wrongret[GetWriteCursor]
+    → exec[RequeueBatch] → slow[DrainQueue] → wrongret[ValidateBatch]
+    → exec[EscalateError] → fails(BufferCorruption)[CommitBatch]
+    → fails(BufferCorruption)[PublishReport] → F
+"""
+
+from __future__ import annotations
+
+from ..sim.program import Program
+from .common import REGISTRY, PaperRow, Workload, add_diag_worker
+
+#: The flush window (two writes this far apart) — the race window.
+FLUSH_TICKS = 15
+#: Start jitters controlling how often the reader lands in the window.
+COLLECTOR_JITTER = 60
+REPORTER_JITTER = 90
+#: Degraded-path drain stall vs. the normal drain.  The normal drain is
+#: deliberately much longer than worst-case cross-thread interleave
+#: noise (~10 ticks), so the too-slow threshold learned from successful
+#: runs is never straddled by an intervened replay.
+DRAIN_DEGRADED_TICKS = 160
+DRAIN_NORMAL_TICKS = 40
+#: The append deadline that the degraded drain blows through: the
+#: pre-drain pipeline plus a normal (or skipped) drain stays well under
+#: it; the degraded drain lands far beyond.
+APPEND_DEADLINE_TICKS = 120
+
+
+def _telemetry_main(ctx):
+    yield from ctx.write("buffer_state", "ready")
+    yield from ctx.spawn("collector", "CollectorLoop")
+    yield from ctx.spawn("reporter", "ReporterLoop")
+    yield from ctx.join("collector")
+    yield from ctx.join("reporter")
+    return "telemetry-done"
+
+
+def _collector_loop(ctx):
+    yield from ctx.work(ctx.randint(0, COLLECTOR_JITTER))
+    yield from ctx.call("FlushBuffer")
+    return "collected"
+
+
+def _flush_buffer(ctx):
+    """The two-write flush protocol — exposed to unsynchronized readers."""
+    yield from ctx.write("buffer_state", "flushing")
+    yield from ctx.work(FLUSH_TICKS)
+    yield from ctx.write("buffer_state", "ready")
+    return "flushed"
+
+
+def _reporter_loop(ctx):
+    yield from ctx.work(ctx.randint(0, REPORTER_JITTER))
+    yield from ctx.call("AppendRecord")
+    return "reported"
+
+
+def _append_record(ctx):
+    """Appends one health record; the unsynchronized read is the bug."""
+    ctx.poke("append_start", ctx.now())
+    state = yield from ctx.read("buffer_state")  # racing read
+    status = yield from ctx.call("CheckBufferState", state)
+    if status == "ready":
+        return (yield from ctx.call("NormalAppend"))
+    yield from ctx.call("EnterDegradedMode")
+    if not ctx.peek("degraded"):
+        return (yield from ctx.call("NormalAppend"))
+    cursor = yield from ctx.call("GetWriteCursor", True)
+    if cursor >= 0:
+        return (yield from ctx.call("NormalAppend"))
+    yield from ctx.call("RequeueBatch")
+    if not ctx.peek("requeued"):
+        return (yield from ctx.call("NormalAppend"))
+    yield from ctx.call("DrainQueue", True)
+    if ctx.now() - ctx.peek("append_start") <= APPEND_DEADLINE_TICKS:
+        return (yield from ctx.call("NormalAppend"))
+    verdict = yield from ctx.call("ValidateBatch", True)
+    if verdict == "valid":
+        return (yield from ctx.call("NormalAppend"))
+    yield from ctx.call("EscalateError")
+    if not ctx.peek("escalated"):
+        return (yield from ctx.call("NormalAppend"))
+    # Beyond recovery: symptoms, diagnostics, then the crash.
+    yield from ctx.call("GetBufferStats", True)
+    yield from ctx.call("RefreshMetrics", True)
+    yield from ctx.call("GetQueueDepth", True)
+    yield from ctx.call("MarkUnhealthy")
+    yield from ctx.call("FreezeIngestion")
+    for tag, worker in (
+        ("diagQ", "DiagQueueWorker"),
+        ("diagW", "DiagWriterWorker"),
+        ("diagS", "DiagScrubWorker"),
+        ("diagU", "DiagUploadWorker"),
+        ("diagH", "DiagHostWorker"),
+        ("diagM", "DiagMetricWorker"),
+    ):
+        yield from ctx.spawn(tag, worker)
+    for tag in ("diagQ", "diagW", "diagS", "diagU", "diagH", "diagM"):
+        yield from ctx.join(tag)
+    return (yield from ctx.call("PublishReport", True))
+
+
+def _normal_append(ctx):
+    """The healthy append pipeline (same stages, good outcomes)."""
+    yield from ctx.call("GetWriteCursor", False)
+    yield from ctx.call("DrainQueue", False)
+    yield from ctx.call("ValidateBatch", False)
+    yield from ctx.call("GetBufferStats", False)
+    yield from ctx.call("RefreshMetrics", False)
+    yield from ctx.call("GetQueueDepth", False)
+    return (yield from ctx.call("PublishReport", False))
+
+
+def _check_buffer_state(ctx, state):
+    yield from ctx.work(2)
+    return "ready" if state == "ready" else "busy"
+
+
+def _enter_degraded_mode(ctx):
+    yield from ctx.work(2)
+    ctx.poke("degraded", True)
+    return None
+
+
+def _get_write_cursor(ctx, degraded):
+    yield from ctx.work(2)
+    return -1 if degraded else 0
+
+
+def _requeue_batch(ctx):
+    yield from ctx.work(3)
+    ctx.poke("requeued", True)
+    return None
+
+
+def _drain_queue(ctx, degraded):
+    yield from ctx.work(DRAIN_DEGRADED_TICKS if degraded else DRAIN_NORMAL_TICKS)
+    return "drained"
+
+
+def _validate_batch(ctx, degraded):
+    yield from ctx.work(3)
+    return "corrupt" if degraded else "valid"
+
+
+def _escalate_error(ctx):
+    yield from ctx.work(2)
+    ctx.poke("escalated", True)
+    return None
+
+
+def _get_buffer_stats(ctx, degraded):
+    yield from ctx.work(2)
+    return "overrun" if degraded else "nominal"
+
+
+def _refresh_metrics(ctx, degraded):
+    yield from ctx.work(70 if degraded else 3)
+    return "refreshed"
+
+
+def _get_queue_depth(ctx, degraded):
+    yield from ctx.work(2)
+    return 512 if degraded else 0
+
+
+def _mark_unhealthy(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _freeze_ingestion(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _publish_report(ctx, degraded):
+    result = yield from ctx.call("CommitBatch", degraded)
+    return result
+
+
+def _commit_batch(ctx, degraded):
+    yield from ctx.work(3)
+    if degraded:
+        ctx.throw("BufferCorruption", "health batch committed over a live flush")
+    return "committed"
+
+
+def build() -> Workload:
+    methods = {
+        "TelemetryMain": _telemetry_main,
+        "CollectorLoop": _collector_loop,
+        "FlushBuffer": _flush_buffer,
+        "ReporterLoop": _reporter_loop,
+        "AppendRecord": _append_record,
+        "NormalAppend": _normal_append,
+        "CheckBufferState": _check_buffer_state,
+        "EnterDegradedMode": _enter_degraded_mode,
+        "GetWriteCursor": _get_write_cursor,
+        "RequeueBatch": _requeue_batch,
+        "DrainQueue": _drain_queue,
+        "ValidateBatch": _validate_batch,
+        "EscalateError": _escalate_error,
+        "GetBufferStats": _get_buffer_stats,
+        "RefreshMetrics": _refresh_metrics,
+        "GetQueueDepth": _get_queue_depth,
+        "MarkUnhealthy": _mark_unhealthy,
+        "FreezeIngestion": _freeze_ingestion,
+        "PublishReport": _publish_report,
+        "CommitBatch": _commit_batch,
+    }
+    diag_families = {
+        "DiagQueueWorker": "Queue",
+        "DiagWriterWorker": "Writer",
+        "DiagScrubWorker": "Scrub",
+        "DiagUploadWorker": "Upload",
+        "DiagHostWorker": "Host",
+        "DiagMetricWorker": "Metric",
+    }
+    topics = [
+        "Depth", "Heads", "Tails", "Locks", "Pages", "Stamps",
+        "Index", "Crc", "Quota",
+    ]
+    for worker, family in diag_families.items():
+        probes = [
+            (
+                f"Probe{family}{topic}",
+                "ProbeError" if i % 3 == 1 else None,
+            )
+            for i, topic in enumerate(topics)
+        ]
+        add_diag_worker(methods, worker, probes)
+
+    readonly = frozenset(
+        name
+        for name in methods
+        if name.startswith(("Probe", "Diag", "Check", "Get"))
+    ) | frozenset(
+        {
+            # AppendRecord mutates the telemetry buffer, so it is NOT
+            # read-only: its method-fails predicate is unsafe to
+            # intervene and drops out (PublishReport carries the
+            # failure-side causality instead).
+            "NormalAppend",
+            "EnterDegradedMode",
+            "RequeueBatch",
+            "DrainQueue",
+            "ValidateBatch",
+            "EscalateError",
+            "RefreshMetrics",
+            "MarkUnhealthy",
+            "FreezeIngestion",
+            "PublishReport",
+            "CommitBatch",
+        }
+    )
+    program = Program(
+        name="healthtelemetry",
+        methods=methods,
+        main="TelemetryMain",
+        shared={"buffer_state": "init"},
+        readonly_methods=readonly,
+        description="telemetry buffer race with a deep degraded pipeline",
+    )
+    return Workload(
+        name="healthtelemetry",
+        program=program,
+        paper=PaperRow(
+            github_issue="(proprietary)",
+            sd_predicates=93,
+            causal_path_len=10,
+            aid_interventions=40,
+            tagt_interventions=70,
+        ),
+        expected_path_markers=(
+            "race(buffer_state)",
+            "wrongret[reporter:CheckBufferState#0]",
+            "exec[reporter:EnterDegradedMode#0]",
+            "wrongret[reporter:GetWriteCursor#0]",
+            "exec[reporter:RequeueBatch#0]",
+            "slow[reporter:DrainQueue#0]",
+            "wrongret[reporter:ValidateBatch#0]",
+            "exec[reporter:EscalateError#0]",
+            "fails(BufferCorruption)[reporter:CommitBatch#0]",
+            "fails(BufferCorruption)[reporter:PublishReport#0]",
+        ),
+        root_marker="race(buffer_state)",
+        description="buffer race drives a ten-stage degraded pipeline to a crash",
+    )
+
+
+REGISTRY.register("healthtelemetry")(build)

@@ -1,0 +1,267 @@
+"""Case study 2: Kafka consumer use-after-free (confluent-kafka-dotnet #279).
+
+The real bug: the main thread creates a Kafka consumer and starts a
+child thread that polls and then commits.  When the child runs too slow
+(here: it drew an oversized batch), the main thread disposes the
+consumer before the child's ``Commit`` — which then operates on a
+disposed object and crashes (or hangs) the application.
+
+Ground-truth causal path (5 predicates, as in Figure 7):
+
+    exec[HandleLargeBatch] → order[Dispose ≺ Commit violated]
+    → slow[PollMessages] → wrongret[CheckLiveness]
+    → fails(ObjectDisposed)[Commit] → F
+
+(The order-violation predicate anchors at Dispose's start and therefore
+precedes the slow predicate, which anchors when the slow poll *ends* —
+temporal precedence over-approximates causality, exactly as Section 4
+warns.)
+
+This workload also reproduces the paper's observation that 30 of the 72
+discriminative predicates had *no temporal path to the failure* and were
+discarded at AC-DAG construction: after the child crashes, the main
+thread joins it and runs a long post-mortem cleanup cascade whose
+predicates all anchor strictly after F.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import SimulatedError
+from ..sim.program import Program
+from .common import REGISTRY, PaperRow, Workload, add_diag_worker
+
+#: Small batches poll quickly; the oversized batch stalls the child far
+#: past the dispose point.  The dichotomy is discrete, so every derived
+#: predicate is crisply discriminative.
+LARGE_BATCH_TICKS = 200
+SMALL_BATCH_TICKS = 30
+#: Main-thread housekeeping before disposing the consumer.
+HOUSEKEEPING_TICKS = 90
+HOUSEKEEPING_JITTER = 20
+#: Probability of drawing an oversized batch (the intermittency source).
+LARGE_BATCH_PROBABILITY = 0.30
+
+#: Post-crash cleanup steps run by the main thread; every second one
+#: throws (and is caught) for predicate variety.  20 methods → 20
+#: "executes" + 10 method-fails predicates = the 30 post-failure
+#: predicates the AC-DAG discards.
+CLEANUP_STEPS = 20
+
+
+def _app_main(ctx):
+    yield from ctx.call("CreateConsumer")
+    large = ctx.rand() < LARGE_BATCH_PROBABILITY
+    ctx.poke("batch_large", large)
+    yield from ctx.spawn("consumer", "ConsumerLoop")
+    yield from ctx.call("DoHousekeeping")
+    yield from ctx.call("DisposeConsumer")
+    yield from ctx.join("consumer")
+    if ctx.peek("consumer_crashed"):
+        for i in range(CLEANUP_STEPS):
+            try:
+                yield from ctx.call(f"CleanupStep{i:02d}")
+            except SimulatedError:
+                pass
+    return "done"
+
+
+def _create_consumer(ctx):
+    yield from ctx.write("consumer_state", "live")
+    return "consumer"
+
+
+def _do_housekeeping(ctx):
+    yield from ctx.work(HOUSEKEEPING_TICKS + ctx.randint(0, HOUSEKEEPING_JITTER))
+    return None
+
+
+def _dispose_consumer(ctx):
+    """The premature dispose — the victimizing half of the bug."""
+    yield from ctx.work(2)
+    yield from ctx.write("consumer_state", "disposed")
+    return None
+
+
+def _consumer_loop(ctx):
+    yield from ctx.call("PollMessages")
+    yield from ctx.call("Commit")
+    return "consumed"
+
+
+def _poll_messages(ctx):
+    """Polls one batch; an oversized batch stalls far too long (the bug)."""
+    if ctx.peek("batch_large"):
+        yield from ctx.call("HandleLargeBatch")
+    else:
+        yield from ctx.work(SMALL_BATCH_TICKS)
+    return "polled"
+
+
+def _handle_large_batch(ctx):
+    yield from ctx.work(LARGE_BATCH_TICKS)
+    return "handled"
+
+
+def _check_liveness(ctx):
+    state = yield from ctx.read("consumer_state")
+    yield from ctx.work(1)
+    return state == "live"
+
+
+def _commit(ctx):
+    """Commits offsets; crashes when the consumer is already disposed."""
+    alive = yield from ctx.call("CheckLiveness")
+    if not alive:
+        # Doomed: the consumer is gone.  Symptoms and diagnostics fire,
+        # then the ObjectDisposed exception takes the process down.
+        yield from ctx.call("GetCommitStatus", False)
+        yield from ctx.call("ValidateOffsets", False)
+        yield from ctx.call("EnterShutdownPath")
+        yield from ctx.call("LogDisposedAccess")
+        yield from ctx.call("SnapshotAssignments")
+        yield from ctx.spawn("diagA", "DiagBrokerWorker")
+        yield from ctx.spawn("diagB", "DiagOffsetWorker")
+        yield from ctx.spawn("diagC", "DiagMemberWorker")
+        yield from ctx.join("diagA")
+        yield from ctx.join("diagB")
+        yield from ctx.join("diagC")
+        ctx.poke("consumer_crashed", True)
+        ctx.throw("ObjectDisposed", "commit on disposed consumer")
+    yield from ctx.call("GetCommitStatus", True)
+    yield from ctx.call("ValidateOffsets", True)
+    return "committed"
+
+
+def _get_commit_status(ctx, ok):
+    yield from ctx.work(2)
+    return "clean" if ok else "dirty"
+
+
+def _validate_offsets(ctx, ok):
+    yield from ctx.work(3 if ok else 60)
+    return "validated"
+
+
+def _enter_shutdown_path(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _log_disposed_access(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _snapshot_assignments(ctx):
+    yield from ctx.work(2)
+    return ()
+
+
+def build() -> Workload:
+    methods = {
+        "AppMain": _app_main,
+        "CreateConsumer": _create_consumer,
+        "DoHousekeeping": _do_housekeeping,
+        "DisposeConsumer": _dispose_consumer,
+        "ConsumerLoop": _consumer_loop,
+        "PollMessages": _poll_messages,
+        "HandleLargeBatch": _handle_large_batch,
+        "CheckLiveness": _check_liveness,
+        "Commit": _commit,
+        "GetCommitStatus": _get_commit_status,
+        "ValidateOffsets": _validate_offsets,
+        "EnterShutdownPath": _enter_shutdown_path,
+        "LogDisposedAccess": _log_disposed_access,
+        "SnapshotAssignments": _snapshot_assignments,
+    }
+    for i in range(CLEANUP_STEPS):
+        name = f"CleanupStep{i:02d}"
+
+        def step(ctx, _throws=(i % 2 == 0)):
+            yield from ctx.work(2)
+            if _throws:
+                ctx.throw("CleanupError", "post-mortem cleanup hiccup")
+            return None
+
+        methods[name] = step
+
+    diag_probes = {
+        "DiagBrokerWorker": [
+            ("ProbeBrokerConn", None),
+            ("ProbeBrokerMeta", "ProbeError"),
+            ("ProbeBrokerAcks", None),
+            ("ProbeBrokerQueue", None),
+            ("ProbeBrokerTls", "ProbeError"),
+            ("ProbeBrokerStats", None),
+            ("ProbeBrokerApi", None),
+            ("ProbeBrokerLag", None),
+        ],
+        "DiagOffsetWorker": [
+            ("ProbeOffsetStore", None),
+            ("ProbeOffsetWatermark", "ProbeError"),
+            ("ProbeOffsetCommitQ", None),
+            ("ProbeOffsetLeader", None),
+            ("ProbeOffsetEpoch", "ProbeError"),
+            ("ProbeOffsetRetention", None),
+            ("ProbeOffsetLog", None),
+            ("ProbeOffsetIndex", None),
+        ],
+        "DiagMemberWorker": [
+            ("ProbeMemberList", None),
+            ("ProbeMemberHeartbeat", "ProbeError"),
+            ("ProbeMemberRebalance", None),
+            ("ProbeMemberSession", None),
+            ("ProbeMemberProtocol", "ProbeError"),
+            ("ProbeMemberLeader", None),
+            ("ProbeMemberGen", None),
+        ],
+    }
+    for worker, probes in diag_probes.items():
+        add_diag_worker(methods, worker, probes)
+
+    readonly = frozenset(
+        name
+        for name in methods
+        if name.startswith(("Probe", "Diag", "Cleanup", "Check", "Get"))
+    ) | frozenset(
+        {
+            "PollMessages",
+            "HandleLargeBatch",
+            "Commit",
+            "ValidateOffsets",
+            "EnterShutdownPath",
+            "LogDisposedAccess",
+            "SnapshotAssignments",
+        }
+    )
+    program = Program(
+        name="kafka-279",
+        methods=methods,
+        main="AppMain",
+        shared={"consumer_state": "none"},
+        readonly_methods=readonly,
+        description="Kafka consumer use-after-free (issue #279 model)",
+    )
+    return Workload(
+        name="kafka",
+        program=program,
+        paper=PaperRow(
+            github_issue="confluentinc/confluent-kafka-dotnet#279",
+            sd_predicates=72,
+            causal_path_len=5,
+            aid_interventions=17,
+            tagt_interventions=33,
+        ),
+        expected_path_markers=(
+            "exec[consumer:HandleLargeBatch#0]",
+            "slow[consumer:PollMessages#0]",
+            "order[main:DisposeConsumer#0<",
+            "wrongret[consumer:CheckLiveness#0]",
+            "fails(ObjectDisposed)[consumer:Commit#0]",
+        ),
+        root_marker="exec[consumer:HandleLargeBatch#0]",
+        description="use-after-free: consumer disposed while child commits",
+    )
+
+
+REGISTRY.register("kafka")(build)

@@ -1,0 +1,172 @@
+"""Case study 4: "Network" — data-center control plane (proprietary).
+
+The paper reports a Microsoft-internal control-plane service whose
+intermittent failure took months to localize; AID identified a *random
+number collision* as the root cause, with a causal path of just one
+predicate, found in 2 interventions (TAGT worst case: 5).
+
+Model: two services allocate session identifiers from a small id space;
+when the draws collide, route registration hits a duplicate key and the
+control plane crashes.  The collision itself is invisible to the
+predicate vocabulary (id values vary across successful runs, so no
+return-value predicate forms) — the *closest available* predicate is the
+duplicate-key failure of ``RegisterRoute``, which is exactly the paper's
+point that AID finds the nearest intervenable predicate to the true root
+cause (Section 4, "Completeness of AC-DAG").
+
+Ground-truth causal path (1 predicate):  fails(DuplicateKey)[RegisterRoute] → F
+"""
+
+from __future__ import annotations
+
+from ..sim.program import Program
+from .common import REGISTRY, PaperRow, Workload, add_diag_worker
+
+#: Session ids are drawn from [1, ID_SPACE]; collisions are the
+#: intermittency source (P ≈ 1/ID_SPACE ≈ 0.2).
+ID_SPACE = 5
+
+
+def _net_main(ctx):
+    a = yield from ctx.call("AllocateSessionId", "svcA")
+    b = yield from ctx.call("AllocateSessionId", "svcB")
+    ctx.poke("ids", (a, b))
+    yield from ctx.call("SetupTopology")
+    yield from ctx.call("RegisterRoute")
+    return "running"
+
+
+def _allocate_session_id(ctx, service):
+    yield from ctx.work(3)
+    return ctx.randint(1, ID_SPACE)
+
+
+def _setup_topology(ctx):
+    yield from ctx.work(10)
+    return "topology"
+
+
+def _register_route(ctx):
+    """Registers both sessions' routes; duplicate ids cannot coexist."""
+    a, b = ctx.peek("ids")
+    conflict = yield from ctx.call("CheckConflict", a == b)
+    yield from ctx.call("GetRouteHealth", a == b)
+    yield from ctx.call("ValidateTopology", a == b)
+    if a == b:
+        # Doomed: duplicate session id.  Diagnostics fire, then the
+        # registration throws and takes the control plane down.
+        yield from ctx.call("EnterConflictPath")
+        yield from ctx.call("LogCollision")
+        yield from ctx.call("ResolveOwner")
+        yield from ctx.call("RebuildRouteCache")
+        yield from ctx.call("NotifyPeers")
+        yield from ctx.call("QuarantineSession")
+        yield from ctx.spawn("diagF", "DiagFabricWorker")
+        yield from ctx.join("diagF")
+        ctx.throw("DuplicateKey", f"session id {a} registered twice ({conflict})")
+    return "registered"
+
+
+def _check_conflict(ctx, colliding):
+    yield from ctx.work(2)
+    return "conflict" if colliding else "none"
+
+
+def _get_route_health(ctx, colliding):
+    yield from ctx.work(2)
+    return "unhealthy" if colliding else "healthy"
+
+
+def _validate_topology(ctx, colliding):
+    yield from ctx.work(60 if colliding else 4)
+    return "validated"
+
+
+def _enter_conflict_path(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _log_collision(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def _doom_step(ctx):
+    yield from ctx.work(2)
+    return None
+
+
+def build() -> Workload:
+    methods = {
+        "NetMain": _net_main,
+        "AllocateSessionId": _allocate_session_id,
+        "SetupTopology": _setup_topology,
+        "RegisterRoute": _register_route,
+        "CheckConflict": _check_conflict,
+        "GetRouteHealth": _get_route_health,
+        "ValidateTopology": _validate_topology,
+        "EnterConflictPath": _enter_conflict_path,
+        "LogCollision": _log_collision,
+        "ResolveOwner": _doom_step,
+        "RebuildRouteCache": _doom_step,
+        "NotifyPeers": _doom_step,
+        "QuarantineSession": _doom_step,
+    }
+    add_diag_worker(
+        methods,
+        "DiagFabricWorker",
+        probes=[
+            ("ProbeFabricLinks", None),
+            ("ProbeFabricBgp", "ProbeError"),
+            ("ProbeFabricAcls", None),
+            ("ProbeFabricVips", None),
+            ("ProbeFabricNat", "ProbeError"),
+            ("ProbeFabricMtu", None),
+            ("ProbeFabricArp", None),
+            ("ProbeFabricLldp", "ProbeError"),
+            ("ProbeFabricQos", None),
+            ("ProbeFabricVxlan", None),
+            ("ProbeFabricEcmp", "ProbeError"),
+            ("ProbeFabricBfd", None),
+            ("ProbeFabricFlow", None),
+        ],
+    )
+
+    readonly = frozenset(
+        name
+        for name in methods
+        if name.startswith(("Probe", "Diag", "Check", "Get"))
+    ) | frozenset(
+        {
+            "RegisterRoute",
+            "ValidateTopology",
+            "EnterConflictPath",
+            "LogCollision",
+        }
+    )
+    program = Program(
+        name="network-controlplane",
+        methods=methods,
+        main="NetMain",
+        shared={},
+        readonly_methods=readonly,
+        description="control-plane session-id collision (proprietary model)",
+    )
+    return Workload(
+        name="network",
+        program=program,
+        paper=PaperRow(
+            github_issue="(proprietary)",
+            sd_predicates=24,
+            causal_path_len=1,
+            aid_interventions=2,
+            tagt_interventions=5,
+        ),
+        expected_path_markers=("fails(DuplicateKey)[main:RegisterRoute#0]",),
+        root_marker="fails(DuplicateKey)[main:RegisterRoute#0]",
+        description="random session-id collision crashes route registration",
+    )
+
+
+REGISTRY.register("network")(build)

@@ -1,0 +1,180 @@
+"""Case study 1: the Npgsql connection-pool data race (GitHub #2485).
+
+The real bug (paper Example 1 and Figure 9): ``TryGetValue`` reads the
+pool-index variable ``_nextSlot`` without synchronization while
+``GetOrAdd`` — inside its own lock, which ``TryGetValue`` does not take —
+updates it.  Under the racing interleaving ``TryGetValue`` observes a
+transiently-invalid index, indexes beyond the pool array, and the
+resulting ``IndexOutOfRange`` exception crashes the application.
+
+Model mapping (see DESIGN.md substitutions):
+
+* ``GetOrAdd`` runs a two-write update protocol on ``_nextSlot``
+  (sentinel −1 while rebuilding, then the restored count) — reading
+  *inside* the protocol is exactly the paper's "access beyond the array
+  size".  The interleaved-access race detector fires precisely on that
+  window, so the race predicate is fully discriminative.
+* The doomed ``TryGetValue`` path exhibits the deterministic cascade:
+  ``LookupSlot`` returns −1 (wrong value), status/validation symptoms
+  fire, two diagnostic threads run their probes, and the crash follows.
+
+Ground-truth causal path (3 predicates, as in Figure 7):
+
+    race(_nextSlot) → wrongret[LookupSlot] → fails(IndexOutOfRange) → F
+"""
+
+from __future__ import annotations
+
+from ..sim.program import Program
+from .common import REGISTRY, PaperRow, Workload, add_diag_worker
+
+#: GetOrAdd's rebuild takes this long; it is the race window.
+REBUILD_TICKS = 12
+#: Per-seed jitter bounds controlling how often the window is hit.
+MAIN_JITTER = 40
+OPENER_JITTER = 80
+#: Doomed-path validation stall; far above any successful duration.
+DEGRADED_VALIDATE_TICKS = 100
+
+
+def _pool_main(ctx):
+    """Main thread: concurrently add a pool while a connection opens."""
+    yield from ctx.spawn("opener", "OpenConnection")
+    yield from ctx.work(ctx.randint(0, MAIN_JITTER))
+    yield from ctx.call("GetOrAdd", "db")
+    yield from ctx.join("opener")
+    return "done"
+
+
+def _get_or_add(ctx, key):
+    """Rebuild the pool table; ``_nextSlot`` is briefly invalid (the bug).
+
+    The real GetOrAdd is lock-protected, but TryGetValue does not take
+    the lock — so the protocol is exposed exactly as if unprotected.
+    """
+    count = ctx.peek("_nextSlot")
+    yield from ctx.write("_nextSlot", -1)  # sentinel: table being rebuilt
+    yield from ctx.work(REBUILD_TICKS)  # copy/resize the pool array
+    yield from ctx.write("_nextSlot", count)  # restore the (same) count
+    return "pool"
+
+
+def _open_connection(ctx):
+    conn = yield from ctx.call("TryGetValue", "db")
+    return conn
+
+
+def _try_get_value(ctx, key):
+    """The racing reader; crashes when it sees the rebuild sentinel."""
+    yield from ctx.call("RefreshStats")
+    slot = yield from ctx.read("_nextSlot")  # unsynchronized read (bug)
+    idx = yield from ctx.call("LookupSlot", slot)
+    degraded = idx < 0
+    yield from ctx.call("GetPoolStatus", degraded)
+    yield from ctx.call("ValidatePool", degraded)
+    if degraded:
+        # Doomed: fire diagnostics, then crash like the real bug.
+        yield from ctx.spawn("diag1", "DiagConnWorker")
+        yield from ctx.spawn("diag2", "DiagPoolWorker")
+        yield from ctx.join("diag1")
+        yield from ctx.join("diag2")
+        ctx.throw("IndexOutOfRange", f"slot {slot} beyond pool array size")
+    return f"conn-{idx}"
+
+
+def _refresh_stats(ctx):
+    """Per-seed startup jitter (connection hand-shake variance)."""
+    yield from ctx.work(ctx.randint(0, OPENER_JITTER))
+    return None
+
+
+def _lookup_slot(ctx, slot):
+    """Maps the observed index to a pool slot; −1 when invalid."""
+    yield from ctx.work(2)
+    return slot if slot >= 0 else -1
+
+
+def _get_pool_status(ctx, degraded):
+    yield from ctx.work(2)
+    return "degraded" if degraded else "ok"
+
+
+def _validate_pool(ctx, degraded):
+    """Pool validation walks retry/backoff logic when degraded."""
+    yield from ctx.work(DEGRADED_VALIDATE_TICKS if degraded else 3)
+    return "validated"
+
+
+def build() -> Workload:
+    methods = {
+        "PoolMain": _pool_main,
+        "GetOrAdd": _get_or_add,
+        "OpenConnection": _open_connection,
+        "TryGetValue": _try_get_value,
+        "RefreshStats": _refresh_stats,
+        "LookupSlot": _lookup_slot,
+        "GetPoolStatus": _get_pool_status,
+        "ValidatePool": _validate_pool,
+    }
+    add_diag_worker(
+        methods,
+        "DiagConnWorker",
+        probes=[
+            ("ProbeConnCount", None),
+            ("ProbeSocketState", "ProbeError"),
+            ("ProbeTlsSession", None),
+        ],
+    )
+    add_diag_worker(
+        methods,
+        "DiagPoolWorker",
+        probes=[
+            ("ProbePoolIndex", None),
+            ("ProbeArrayBounds", "ProbeError"),
+        ],
+    )
+    readonly = frozenset(
+        {
+            "TryGetValue",
+            "LookupSlot",
+            "GetPoolStatus",
+            "ValidatePool",
+            "RefreshStats",
+            "DiagConnWorker",
+            "DiagPoolWorker",
+            "ProbeConnCount",
+            "ProbeSocketState",
+            "ProbeTlsSession",
+            "ProbePoolIndex",
+            "ProbeArrayBounds",
+        }
+    )
+    program = Program(
+        name="npgsql-2485",
+        methods=methods,
+        main="PoolMain",
+        shared={"_nextSlot": 1},
+        readonly_methods=readonly,
+        description=__doc__.strip().splitlines()[0],
+    )
+    return Workload(
+        name="npgsql",
+        program=program,
+        paper=PaperRow(
+            github_issue="npgsql/npgsql#2485",
+            sd_predicates=14,
+            causal_path_len=3,
+            aid_interventions=5,
+            tagt_interventions=11,
+        ),
+        expected_path_markers=(
+            "race(_nextSlot)",
+            "wrongret[opener:LookupSlot#0]",
+            "fails(IndexOutOfRange)",
+        ),
+        root_marker="race(_nextSlot)",
+        description="data race on a pool index variable crashes connection open",
+    )
+
+
+REGISTRY.register("npgsql")(build)

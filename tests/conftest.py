@@ -1,0 +1,89 @@
+"""Shared fixtures: programs, corpora, and cached case-study sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.session import AIDSession, SessionConfig
+from repro.sim import Program
+from repro.workloads.common import REGISTRY
+
+
+def racy_counter_program(window: int = 10, jitter: int = 40) -> Program:
+    """A minimal sandwich-race program used across sim/core tests.
+
+    ``Updater`` rewrites a counter through a two-write protocol
+    (sentinel −1, then the restored value); ``Reader`` reads it without
+    synchronization and crashes when it observes the sentinel.
+    """
+
+    def main(ctx):
+        yield from ctx.spawn("reader", "Reader")
+        yield from ctx.work(ctx.randint(0, jitter))
+        yield from ctx.call("Updater")
+        yield from ctx.join("reader")
+        return "done"
+
+    def updater(ctx):
+        value = ctx.peek("counter")
+        yield from ctx.write("counter", -1)
+        yield from ctx.work(window)
+        yield from ctx.write("counter", value)
+        return "updated"
+
+    def reader(ctx):
+        yield from ctx.work(ctx.randint(0, jitter))
+        value = yield from ctx.read("counter")
+        checked = yield from ctx.call("CheckValue", value)
+        if not checked:
+            ctx.throw("TornRead", f"saw {value}")
+        return value
+
+    def check_value(ctx, value):
+        yield from ctx.work(1)
+        return value >= 0
+
+    return Program(
+        name="racy-counter",
+        methods={
+            "Main": main,
+            "Updater": updater,
+            "Reader": reader,
+            "CheckValue": check_value,
+        },
+        main="Main",
+        shared={"counter": 7},
+        readonly_methods=frozenset({"Reader", "CheckValue"}),
+    )
+
+
+@pytest.fixture(scope="session")
+def racy_program() -> Program:
+    return racy_counter_program()
+
+
+@pytest.fixture(scope="session")
+def racy_session(racy_program) -> AIDSession:
+    session = AIDSession(
+        racy_program, SessionConfig(n_success=30, n_fail=30, repeats=15)
+    )
+    session.build_dag()
+    return session
+
+
+_SESSION_CACHE: dict[str, AIDSession] = {}
+
+
+def case_study_session(name: str) -> AIDSession:
+    """Build (once per test run) a full session for a case study."""
+    if name not in _SESSION_CACHE:
+        workload = REGISTRY.build(name)
+        session = AIDSession(workload.program, SessionConfig())
+        session.build_dag()
+        _SESSION_CACHE[name] = session
+    return _SESSION_CACHE[name]
+
+
+@pytest.fixture(params=sorted(REGISTRY.names()))
+def workload_name(request) -> str:
+    return request.param

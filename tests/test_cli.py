@@ -1,0 +1,68 @@
+"""Command-line interface tests (direct main() invocation)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["debug", "nonexistent"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["debug", "network"])
+        assert args.approach == "AID"
+        assert args.runs == 50
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("npgsql", "kafka", "cosmosdb"):
+            assert name in out
+
+    def test_debug_network(self, capsys):
+        assert main(["debug", "network", "--runs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "root cause" in out
+        assert "DuplicateKey" in out
+
+    def test_debug_with_dot(self, capsys):
+        assert main(["debug", "network", "--runs", "30", "--dot"]) == 0
+        assert "digraph acdag" in capsys.readouterr().out
+
+    def test_example3(self, capsys):
+        assert main(["example3"]) == 0
+        out = capsys.readouterr().out
+        assert "64" in out and "15" in out
+
+    def test_figure6(self, capsys):
+        assert main(["figure6", "--junctions", "2"]) == 0
+        assert "CPD" in capsys.readouterr().out
+
+    def test_figure8_small(self, capsys):
+        assert main(["figure8", "--apps", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "exact recovery everywhere: True" in out
+
+    def test_trace_to_stdout(self, capsys):
+        assert main(["trace", "network", "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["program"] == "network-controlplane"
+
+    def test_trace_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(["trace", "network", "--seed", "3", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["seed"] == 3

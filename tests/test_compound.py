@@ -1,0 +1,154 @@
+"""Compound conjunctions (paper Section 3.2): modeling nondeterminism.
+
+The target program fails only when TWO independent conditions coincide
+(a slow fetch AND a stale cache flag).  Each condition alone also occurs
+in successful runs, so no single predicate is fully discriminative — but
+their conjunction is, and AID equipped with the compound extractor finds
+it as the root cause.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Approach, PredicateKind
+from repro.core.extraction import (
+    CompoundConjunctionExtractor,
+    default_extractors,
+)
+from repro.harness.session import AIDSession, SessionConfig
+from repro.sim import Program
+
+
+def _conjunction_program() -> Program:
+    """Fails iff the slow-fetch path AND the stale-cache path both run.
+
+    Each path alone also occurs in successful runs (≈45% of the time),
+    so ``exec[RetrySlowFetch]`` and ``exec[EvictStaleEntry]`` each have
+    perfect recall but imperfect precision — only their conjunction is
+    fully discriminative, the paper's Section 3.2 scenario.
+    """
+
+    def main(ctx):
+        ctx.poke("slow", ctx.rand() < 0.45)
+        ctx.poke("stale", ctx.rand() < 0.45)
+        yield from ctx.call("FetchRecord")
+        yield from ctx.call("RefreshCache")
+        yield from ctx.call("Assemble")
+        return "ok"
+
+    def fetch_record(ctx):
+        yield from ctx.work(3)
+        if ctx.peek("slow"):
+            yield from ctx.call("RetrySlowFetch")
+        return "record"
+
+    def retry_slow_fetch(ctx):
+        yield from ctx.work(10)
+        ctx.poke("degraded_fetch", True)
+        return "retried"
+
+    def refresh_cache(ctx):
+        yield from ctx.work(3)
+        if ctx.peek("stale"):
+            yield from ctx.call("EvictStaleEntry")
+        return "refreshed"
+
+    def evict_stale_entry(ctx):
+        yield from ctx.work(4)
+        ctx.poke("evicted", True)
+        return "evicted"
+
+    def assemble(ctx):
+        yield from ctx.work(2)
+        if ctx.peek("degraded_fetch") and ctx.peek("evicted"):
+            # Degraded fetch + evicted entry: nothing valid to serve.
+            ctx.throw("StaleAssembly", "no valid source")
+        return "assembled"
+
+    return Program(
+        name="conjunction",
+        methods={
+            "Main": main,
+            "FetchRecord": fetch_record,
+            "RetrySlowFetch": retry_slow_fetch,
+            "RefreshCache": refresh_cache,
+            "EvictStaleEntry": evict_stale_entry,
+            "Assemble": assemble,
+        },
+        main="Main",
+        readonly_methods=frozenset(
+            {"FetchRecord", "RetrySlowFetch", "RefreshCache",
+             "EvictStaleEntry", "Assemble"}
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def session():
+    extractors = default_extractors() + [CompoundConjunctionExtractor()]
+    s = AIDSession(
+        _conjunction_program(),
+        SessionConfig(n_success=40, n_fail=40, repeats=20, extractors=extractors),
+    )
+    s.build_dag()
+    return s
+
+
+class TestCompoundExtraction:
+    def test_no_single_predicate_is_fully_discriminative(self, session):
+        singles = [
+            pid
+            for pid in session.fully_discriminative
+            if not pid.startswith("and(")
+            # the downstream crash symptom is genuinely discriminative
+            and not pid.startswith("fails(StaleAssembly)")
+        ]
+        assert singles == []
+
+    def test_conjunction_is_fully_discriminative(self, session):
+        compounds = [
+            pid for pid in session.fully_discriminative if pid.startswith("and(")
+        ]
+        assert compounds, "the slow∧stale conjunction must survive SD"
+        compound = compounds[0]
+        assert "exec[main:RetrySlowFetch#0]" in compound
+        assert "exec[main:EvictStaleEntry#0]" in compound
+
+    def test_compound_kind_and_parts(self, session):
+        pid = next(
+            p for p in session.fully_discriminative if p.startswith("and(")
+        )
+        pred = session._suite[pid]
+        assert pred.kind is PredicateKind.COMPOUND_AND
+        assert len(pred.parts) == 2
+
+    def test_aid_confirms_the_conjunction_as_root_cause(self, session):
+        report = session.run(Approach.AID)
+        root = report.discovery.root_cause
+        assert root is not None and root.startswith("and("), report.causal_path
+        # Repairing the conjunction (both parts) stops the failure:
+        assert report.n_causal >= 1
+
+    def test_explanation_renders_both_conjuncts(self, session):
+        report = session.run(Approach.AID)
+        text = report.explanation.render()
+        assert " AND " in text
+
+
+class TestExtractorEdgeCases:
+    def test_no_compounds_when_singles_suffice(self, racy_session):
+        corpus = racy_session.collect()
+        extractor = CompoundConjunctionExtractor()
+        compounds = extractor.discover(corpus.successes, corpus.failures)
+        # The race predicate is already fully discriminative; compounds
+        # built from *imperfect* parts may exist but never duplicate it.
+        for compound in compounds:
+            assert all(
+                not part.pid.startswith("race(") for part in compound.parts
+            )
+
+    def test_max_compounds_cap(self, session):
+        corpus = session.collect()
+        capped = CompoundConjunctionExtractor(max_compounds=1)
+        assert len(capped.discover(corpus.successes, corpus.failures)) <= 1

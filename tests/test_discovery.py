@@ -1,0 +1,212 @@
+"""Algorithms 2-3: branch pruning and full causal path discovery.
+
+Uses the synthetic oracle (ground truth known by construction) plus
+hand-built DAGs reproducing the paper's Section 5.2 walkthrough.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.acdag import ACDag
+from repro.core.branch import branch_prune
+from repro.core.discovery import causal_path_discovery, linear_discovery
+from repro.core.intervention import CountingRunner, RunOutcome
+from repro.core.variants import Approach, all_approaches, discover
+from repro.workloads.synthetic import FAILURE_PID, generate_app, spec_for_maxt
+
+
+class PathOracle:
+    """Oracle over an explicit DAG: causal chain + parented noise."""
+
+    def __init__(self, dag: ACDag, causal: list[str], parents: dict):
+        self.dag = dag
+        self.causal = causal
+        self.parents = parents
+        self._topo = dag.topological_order()
+
+    def run_group(self, pids):
+        occurred = set()
+        causal_index = {p: i for i, p in enumerate(self.causal)}
+        for pid in self._topo:
+            if pid == self.dag.failure or pid in pids:
+                continue
+            if pid in causal_index:
+                i = causal_index[pid]
+                if i == 0 or self.causal[i - 1] in occurred:
+                    occurred.add(pid)
+            else:
+                parent = self.parents.get(pid)
+                if parent is None or parent in occurred:
+                    occurred.add(pid)
+        failed = self.causal[-1] in occurred
+        if failed:
+            occurred.add(self.dag.failure)
+        return [RunOutcome(observed=frozenset(occurred), failed=failed)]
+
+
+def _figure4_like() -> tuple[ACDag, PathOracle]:
+    """An AC-DAG shaped like the paper's Figure 4(a).
+
+    True causal path P1 → P2 → P11 → F; branch {P4, P5, P6} and the
+    sub-branch {P9, P10} are noise, as are P3, P7, P8.
+    """
+    edges = [
+        ("P1", "P2"),
+        ("P2", "P3"),
+        ("P3", "P4"),
+        ("P4", "P5"),
+        ("P5", "P6"),
+        ("P3", "P7"),
+        ("P7", "P8"),
+        ("P8", "P11"),
+        ("P7", "P9"),
+        ("P9", "P10"),
+        ("P11", FAILURE_PID),
+        ("P6", FAILURE_PID),
+        ("P10", FAILURE_PID),
+    ]
+    graph = nx.transitive_closure_dag(nx.DiGraph(edges))
+    dag = ACDag(graph=graph, failure=FAILURE_PID)
+    causal = ["P1", "P2", "P11"]
+    parents = {
+        "P3": "P2",
+        "P4": "P3",
+        "P5": "P4",
+        "P6": "P5",
+        "P7": "P2",
+        "P8": "P7",
+        "P9": "P7",
+        "P10": "P9",
+    }
+    return dag, PathOracle(dag, causal, parents)
+
+
+class TestBranchPrune:
+    def test_reduces_figure4_toward_a_chain(self):
+        dag, oracle = _figure4_like()
+        runner = CountingRunner(oracle)
+        result = branch_prune(dag, runner, rng=random.Random(0))
+        assert result.junctions >= 1
+        assert "P11" in dag.predicates, "causal member must survive"
+        # Whole noise branches disappear without per-predicate rounds.
+        assert set(result.removed) & {"P4", "P5", "P6"} or set(
+            result.removed
+        ) & {"P9", "P10"}
+
+    def test_chain_needs_no_interventions(self):
+        graph = nx.transitive_closure_dag(
+            nx.DiGraph([("A", "B"), ("B", "C"), ("C", FAILURE_PID)])
+        )
+        dag = ACDag(graph=graph, failure=FAILURE_PID)
+        oracle = PathOracle(dag, ["A", "B", "C"], {})
+        runner = CountingRunner(oracle)
+        result = branch_prune(dag, runner, rng=random.Random(0))
+        assert result.junctions == 0
+        assert runner.budget.rounds == 0
+
+
+class TestCausalPathDiscovery:
+    def test_figure4_walkthrough(self):
+        dag, oracle = _figure4_like()
+        result = causal_path_discovery(dag, oracle, rng=random.Random(1))
+        assert result.causal_path == ["P1", "P2", "P11", FAILURE_PID]
+        assert result.root_cause == "P1"
+        assert result.explanation_pids == ["P2", "P11"]
+        # The paper's walkthrough needs 8 rounds vs 11 naive; we only
+        # require beating naive one-at-a-time.
+        assert result.n_rounds < 11
+
+    def test_beats_linear_baseline(self):
+        dag, oracle = _figure4_like()
+        aid = causal_path_discovery(dag, oracle, rng=random.Random(1))
+        naive = linear_discovery(dag, oracle, rng=random.Random(1))
+        assert naive.n_rounds == 11  # one per predicate
+        assert naive.causal_path == aid.causal_path
+        assert aid.n_rounds < naive.n_rounds
+
+    def test_orderings_validated(self):
+        dag, oracle = _figure4_like()
+        with pytest.raises(ValueError):
+            causal_path_discovery(dag, oracle, ordering="sideways")
+
+    def test_budget_counts_all_phases(self):
+        dag, oracle = _figure4_like()
+        result = causal_path_discovery(dag, oracle, rng=random.Random(2))
+        from_records = len(result.rounds)
+        assert result.n_rounds == from_records
+        assert result.n_executions >= result.n_rounds
+
+    def test_input_dag_not_mutated(self):
+        dag, oracle = _figure4_like()
+        before = set(dag.predicates)
+        causal_path_discovery(dag, oracle, rng=random.Random(0))
+        assert set(dag.predicates) == before
+
+
+class TestVariantLadder:
+    def test_all_approaches_recover_truth(self):
+        app = generate_app(17, spec_for_maxt(10))
+        truth = set(app.causal_path)
+        for approach in all_approaches() + [Approach.LINEAR]:
+            result = discover(
+                approach, app.dag, app.runner(), rng=random.Random(3)
+            )
+            assert set(result.causal_path) - {FAILURE_PID} == truth, approach
+            # Path ordering always follows the AC-DAG topological order.
+            assert result.causal_path[:-1] == [
+                p for p in app.dag.topological_order() if p in truth
+            ]
+
+    def test_linear_costs_n(self):
+        app = generate_app(23, spec_for_maxt(6))
+        result = discover(
+            Approach.LINEAR, app.dag, app.runner(), rng=random.Random(0)
+        )
+        assert result.n_rounds == app.n_predicates
+
+    def test_aid_dominates_on_average(self):
+        """AID ≤ ablations ≤ ~TAGT in expectation (the Figure 8 ladder)."""
+        totals = {a: 0 for a in all_approaches()}
+        for seed in range(25):
+            app = generate_app(seed, spec_for_maxt(14))
+            for approach in all_approaches():
+                result = discover(
+                    approach, app.dag, app.runner(), rng=random.Random(seed)
+                )
+                totals[approach] += result.n_rounds
+        assert totals[Approach.AID] < totals[Approach.AID_P]
+        assert totals[Approach.AID_P] < totals[Approach.TAGT]
+        assert totals[Approach.AID] < totals[Approach.AID_P_B]
+
+    def test_unknown_approach_rejected(self):
+        app = generate_app(1, spec_for_maxt(4))
+        with pytest.raises(ValueError):
+            discover("MAGIC", app.dag, app.runner())
+
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000), maxt=st.integers(2, 42),
+       approach_idx=st.integers(0, 3))
+def test_property_discovery_exactness(seed, maxt, approach_idx):
+    """For any generated app and any approach, discovery returns exactly
+    the ground-truth causal set, ordered topologically, ending in F."""
+    app = generate_app(seed, spec_for_maxt(maxt))
+    approach = all_approaches()[approach_idx]
+    result = discover(approach, app.dag, app.runner(),
+                      rng=random.Random(seed % 17))
+    assert result.causal_path[-1] == FAILURE_PID
+    assert set(result.causal_path[:-1]) == set(app.causal_path)
+    assert result.causal_path[:-1] == app.causal_path, (
+        "path must follow the chain order"
+    )
+    # Accounting invariants.
+    assert result.n_rounds >= 1
+    assert result.n_executions >= result.n_rounds
+    assert set(result.spurious).isdisjoint(result.causal_path)

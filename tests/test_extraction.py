@@ -1,0 +1,158 @@
+"""Predicate extraction: each extractor, the suite, and safety filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.extraction import (
+    DataRaceExtractor,
+    DurationExtractor,
+    FailureExtractor,
+    MethodExecutedExtractor,
+    MethodFailsExtractor,
+    OrderViolationExtractor,
+    PredicateSuite,
+    WrongReturnExtractor,
+    default_extractors,
+)
+from repro.core.predicates import PredicateKind
+from repro.harness.runner import collect
+from repro.sim import run_program
+
+
+@pytest.fixture(scope="module")
+def corpus(racy_program):
+    return collect(racy_program, n_success=25, n_fail=25)
+
+
+class TestExtractors:
+    def test_data_race_extractor_finds_the_race(self, corpus):
+        preds = DataRaceExtractor().discover(corpus.successes, corpus.failures)
+        assert len(preds) == 1
+        (race,) = preds
+        assert race.obj == "counter"
+        assert {race.a.method, race.b.method} == {"Updater", "Reader"}
+
+    def test_method_fails_extractor(self, corpus):
+        preds = MethodFailsExtractor().discover(corpus.successes, corpus.failures)
+        kinds = {(p.key.method, p.exc_kind) for p in preds}
+        assert ("Reader", "TornRead") in kinds
+
+    def test_wrong_return_extractor(self, corpus):
+        preds = WrongReturnExtractor().discover(corpus.successes, corpus.failures)
+        by_method = {p.key.method: p for p in preds}
+        assert "CheckValue" in by_method
+        assert by_method["CheckValue"].correct_value is True
+
+    def test_failure_extractor_one_per_signature(self, corpus):
+        preds = FailureExtractor().discover(corpus.successes, corpus.failures)
+        assert len(preds) == 1
+        assert preds[0].signature == corpus.failures[0].failure.signature
+
+    def test_executed_extractor_skips_invariants(self, corpus):
+        preds = MethodExecutedExtractor().discover(
+            corpus.successes, corpus.failures
+        )
+        # Reader/Updater/Main run in every trace → never candidates.
+        assert all(p.key.method not in {"Main", "Updater"} for p in preds)
+
+    def test_duration_extractor_slack(self, corpus):
+        extractor = DurationExtractor(slack_fraction=0.25, slack_min=5)
+        preds = extractor.discover(corpus.successes, corpus.failures)
+        for p in preds:
+            if p.kind is PredicateKind.TOO_SLOW:
+                durations = [
+                    m.duration
+                    for t in corpus.successes
+                    for m in t.method_executions()
+                    if m.key == p.key
+                ]
+                assert p.threshold >= max(durations) + 5
+
+    def test_order_extractor_requires_cross_thread(self, corpus):
+        preds = OrderViolationExtractor().discover(
+            corpus.successes, corpus.failures
+        )
+        for p in preds:
+            assert p.first.thread != p.second.thread
+
+
+class TestSuite:
+    def test_discover_and_evaluate_roundtrip(self, corpus, racy_program):
+        suite = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program
+        )
+        assert len(suite) > 0
+        log = suite.evaluate(corpus.failures[0])
+        assert log.failed
+        assert any(pid.startswith("race(") for pid in log.observations)
+        ok = suite.evaluate(corpus.successes[0])
+        assert not ok.failed
+
+    def test_safety_filter_drops_unsafe_value_interventions(
+        self, corpus, racy_program
+    ):
+        safe = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program, safe_only=True
+        )
+        unsafe = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program, safe_only=False
+        )
+        assert set(safe.pids()) <= set(unsafe.pids())
+        dropped = set(unsafe.pids()) - set(safe.pids())
+        for pid in dropped:
+            assert not unsafe[pid].is_safe(racy_program)
+        # Races are timing interventions — always safe, never dropped.
+        assert all(not pid.startswith("race(") for pid in dropped)
+
+    def test_failure_predicates_survive_safety_filter(
+        self, corpus, racy_program
+    ):
+        suite = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program
+        )
+        assert suite.failure_pids()
+
+    def test_restrict(self, corpus, racy_program):
+        suite = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program
+        )
+        keep = suite.pids()[:2]
+        small = suite.restrict(keep)
+        assert small.pids() == sorted(keep)
+
+    def test_evaluate_all_sets_seeds(self, corpus, racy_program):
+        suite = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program
+        )
+        logs = suite.evaluate_all(corpus.failures)
+        assert [log.seed for log in logs] == [t.seed for t in corpus.failures]
+
+    def test_default_extractor_list_is_complete(self):
+        kinds = {type(e).__name__ for e in default_extractors()}
+        assert kinds == {
+            "DataRaceExtractor",
+            "MethodFailsExtractor",
+            "DurationExtractor",
+            "WrongReturnExtractor",
+            "OrderViolationExtractor",
+            "MethodExecutedExtractor",
+            "FailureExtractor",
+        }
+
+    def test_evaluation_consistent_on_intervened_traces(
+        self, corpus, racy_program
+    ):
+        """The frozen suite evaluates intervened traces (the mechanism
+        behind interpreting intervention outcomes)."""
+        suite = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program
+        )
+        race_pid = next(p for p in suite.pids() if p.startswith("race("))
+        interventions = suite[race_pid].interventions()
+        trace = run_program(
+            racy_program, corpus.failing_seeds[0], interventions
+        ).trace
+        log = suite.evaluate(trace)
+        assert race_pid not in log.observations
+        assert not log.failed

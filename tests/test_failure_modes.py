@@ -1,0 +1,170 @@
+"""AID on non-crash failure modes: deadlocks and hangs.
+
+The paper targets crashes, unresponsiveness (hangs), and data
+corruption.  These tests build two bonus bug programs — a lock-ordering
+deadlock and an infinite-retry hang — and verify the full pipeline
+localizes both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Approach
+from repro.harness.session import AIDSession, SessionConfig
+from repro.sim import Program, run_program
+
+
+def _deadlock_program() -> Program:
+    """Classic lock-ordering bug: a rarely-taken path reverses the
+    acquisition order of two locks."""
+
+    def main(ctx):
+        ctx.poke("reversed", ctx.rand() < 0.35)
+        yield from ctx.spawn("worker", "TransferWorker")
+        yield from ctx.call("LedgerSweep")
+        yield from ctx.join("worker")
+        return "ok"
+
+    def ledger_sweep(ctx):
+        yield from ctx.acquire("accounts")
+        yield from ctx.work(15)
+        yield from ctx.acquire("journal")
+        yield from ctx.work(3)
+        yield from ctx.release("journal")
+        yield from ctx.release("accounts")
+        return "swept"
+
+    def transfer_worker(ctx):
+        yield from ctx.work(2)
+        if ctx.peek("reversed"):
+            # The buggy fast path takes the locks in the wrong order.
+            yield from ctx.call("FastTransfer")
+        else:
+            yield from ctx.call("SafeTransfer")
+        return "transferred"
+
+    def fast_transfer(ctx):
+        yield from ctx.acquire("journal")
+        yield from ctx.work(15)
+        yield from ctx.acquire("accounts")
+        yield from ctx.release("accounts")
+        yield from ctx.release("journal")
+        return "fast"
+
+    def safe_transfer(ctx):
+        yield from ctx.acquire("accounts")
+        yield from ctx.work(3)
+        yield from ctx.acquire("journal")
+        yield from ctx.release("journal")
+        yield from ctx.release("accounts")
+        return "safe"
+
+    return Program(
+        name="deadlock-bug",
+        methods={
+            "Main": main,
+            "LedgerSweep": ledger_sweep,
+            "TransferWorker": transfer_worker,
+            "FastTransfer": fast_transfer,
+            "SafeTransfer": safe_transfer,
+        },
+        main="Main",
+        readonly_methods=frozenset({"FastTransfer", "SafeTransfer"}),
+    )
+
+
+def _hang_program() -> Program:
+    """Unresponsiveness: a doomed path spins in an unbounded retry loop."""
+
+    def main(ctx):
+        ctx.poke("flaky_backend", ctx.rand() < 0.35)
+        yield from ctx.call("SubmitJob")
+        return "ok"
+
+    def submit_job(ctx):
+        status = yield from ctx.call("PushToBackend")
+        if status != "accepted":
+            yield from ctx.call("RetryForever")
+        return status
+
+    def push_to_backend(ctx):
+        yield from ctx.work(3)
+        return "rejected" if ctx.peek("flaky_backend") else "accepted"
+
+    def retry_forever(ctx):
+        while True:  # the bug: no retry budget
+            yield from ctx.work(5)
+
+    return Program(
+        name="hang-bug",
+        methods={
+            "Main": main,
+            "SubmitJob": submit_job,
+            "PushToBackend": push_to_backend,
+            "RetryForever": retry_forever,
+        },
+        main="Main",
+        readonly_methods=frozenset({"PushToBackend", "RetryForever"}),
+    )
+
+
+class TestDeadlock:
+    @pytest.fixture(scope="class")
+    def session(self):
+        s = AIDSession(
+            _deadlock_program(),
+            SessionConfig(n_success=30, n_fail=30, repeats=15, max_steps=3000),
+        )
+        s.build_dag()
+        return s
+
+    def test_failure_mode_is_deadlock(self, session):
+        corpus = session.collect()
+        assert all(t.failure.mode == "deadlock" for t in corpus.failures)
+
+    def test_intermittent(self):
+        program = _deadlock_program()
+        outcomes = [
+            run_program(program, s, max_steps=3000).failed for s in range(60)
+        ]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_aid_blames_the_reversed_path(self, session):
+        report = session.run(Approach.AID)
+        root = report.discovery.root_cause
+        assert root is not None
+        assert "FastTransfer" in root, report.causal_path
+
+    def test_repair_unblocks_the_program(self, session):
+        from repro.sim import Simulator
+
+        report = session.run(Approach.AID)
+        injections = session._suite[report.discovery.root_cause].interventions()
+        simulator = Simulator(session.program, max_steps=3000)
+        for seed in range(60):
+            assert not simulator.run(seed, injections).failed
+
+
+class TestHang:
+    @pytest.fixture(scope="class")
+    def session(self):
+        s = AIDSession(
+            _hang_program(),
+            SessionConfig(n_success=30, n_fail=30, repeats=15, max_steps=2000),
+        )
+        s.build_dag()
+        return s
+
+    def test_failure_mode_is_hang(self, session):
+        corpus = session.collect()
+        assert all(t.failure.mode == "hang" for t in corpus.failures)
+
+    def test_aid_blames_the_rejection_or_retry(self, session):
+        report = session.run(Approach.AID)
+        path = " ".join(report.causal_path)
+        assert "PushToBackend" in path or "RetryForever" in path
+
+    def test_explanation_produced(self, session):
+        report = session.run(Approach.AID)
+        assert "[root cause]" in report.explanation.render()

@@ -1,0 +1,143 @@
+"""Precedence policies and the structural acyclicity guarantee."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.precedence import (
+    EndTimePolicy,
+    KindAnchorPolicy,
+    StartTimePolicy,
+    default_policy,
+)
+from repro.core.predicates import (
+    MethodFailsPredicate,
+    Observation,
+    TooSlowPredicate,
+    WrongReturnPredicate,
+    ExecutedPredicate,
+)
+from repro.sim.tracing import MethodKey
+
+
+def _fails(name="M"):
+    return MethodFailsPredicate(key=MethodKey(name, "t", 0), exc_kind="E")
+
+
+def _exec(name="M"):
+    return ExecutedPredicate(key=MethodKey(name, "t", 0))
+
+
+class TestAnchoring:
+    def test_end_anchored_kinds(self):
+        policy = KindAnchorPolicy()
+        obs = Observation(10, 25)
+        assert policy.anchor(_fails(), obs) == 25.0
+        assert (
+            policy.anchor(
+                WrongReturnPredicate(key=MethodKey("M", "t", 0), correct_value=1),
+                obs,
+            )
+            == 25.0
+        )
+
+    def test_start_anchored_kinds(self):
+        policy = KindAnchorPolicy()
+        obs = Observation(10, 25)
+        assert policy.anchor(_exec(), obs) == 10.0
+        slow = TooSlowPredicate(key=MethodKey("M", "t", 0), threshold=5)
+        # TooSlow observations already start at the excess point.
+        assert policy.anchor(slow, obs) == 10.0
+
+    def test_overrides(self):
+        from repro.core.predicates import PredicateKind
+
+        policy = KindAnchorPolicy(overrides={PredicateKind.METHOD_FAILS: "start"})
+        assert policy.anchor(_fails(), Observation(10, 25)) == 10.0
+
+    def test_uniform_policies(self):
+        obs = Observation(3, 9)
+        assert StartTimePolicy().anchor(_fails(), obs) == 3.0
+        assert EndTimePolicy().anchor(_exec(), obs) == 9.0
+
+    def test_default_is_kind_anchored(self):
+        assert isinstance(default_policy(), KindAnchorPolicy)
+
+    def test_paper_case1_slow_callee_precedes_slow_caller(self):
+        """foo() awaits bar(); both slow ⇒ bar precedes foo (Case 1).
+
+        foo spans [0, 100] with threshold 50, bar spans [20, 90] with
+        threshold 20 — bar exceeds its envelope at 40, foo at 50.
+        """
+        policy = default_policy()
+        foo = TooSlowPredicate(key=MethodKey("foo", "t", 0), threshold=50)
+        bar = TooSlowPredicate(key=MethodKey("bar", "t", 0), threshold=20)
+        foo_obs = Observation(0 + 50, 100)
+        bar_obs = Observation(20 + 20, 90)
+        assert policy.precedes(bar, bar_obs, foo, foo_obs)
+        assert not policy.precedes(foo, foo_obs, bar, bar_obs)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["fails", "exec", "slow"]),
+            st.integers(0, 100),
+            st.integers(0, 50),
+        ),
+        min_size=2,
+        max_size=8,
+    )
+)
+def test_property_precedence_is_strict_within_a_log(items):
+    """Per log, `precedes` is irreflexive and asymmetric for any policy —
+    the property that makes AC-DAG acyclicity structural."""
+    policy = default_policy()
+    preds = []
+    for i, (kind, start, length) in enumerate(items):
+        key = MethodKey(f"M{i}", "t", 0)
+        if kind == "fails":
+            pred = MethodFailsPredicate(key=key, exc_kind="E")
+        elif kind == "exec":
+            pred = ExecutedPredicate(key=key)
+        else:
+            pred = TooSlowPredicate(key=key, threshold=1)
+        preds.append((pred, Observation(start, start + length)))
+    for p1, o1 in preds:
+        assert not policy.precedes(p1, o1, p1, o1)
+        for p2, o2 in preds:
+            if policy.precedes(p1, o1, p2, o2):
+                assert not policy.precedes(p2, o2, p1, o1)
+
+
+class TestLamportPolicy:
+    def test_prefers_lamport_when_available(self):
+        from repro.core.precedence import LamportAnchorPolicy
+
+        policy = LamportAnchorPolicy()
+        obs = Observation(10, 25, start_lamport=3, end_lamport=9)
+        assert policy.anchor(_exec(), obs) == 3.0
+        assert policy.anchor(_fails(), obs) == 9.0
+
+    def test_falls_back_to_virtual_time(self):
+        from repro.core.precedence import LamportAnchorPolicy
+
+        policy = LamportAnchorPolicy()
+        obs = Observation(10, 25)
+        assert policy.anchor(_exec(), obs) == 10.0
+        assert policy.anchor(_fails(), obs) == 25.0
+
+    def test_full_pipeline_under_lamport_anchors(self, racy_session):
+        """Swapping the clock basis still recovers the race root cause."""
+        from repro.core.precedence import LamportAnchorPolicy
+        from repro.harness.session import AIDSession, SessionConfig
+
+        session = AIDSession(
+            racy_session.program,
+            SessionConfig(
+                n_success=25, n_fail=25, repeats=12,
+                policy=LamportAnchorPolicy(),
+            ),
+        )
+        report = session.run("AID")
+        assert report.discovery.root_cause.startswith("race(counter)")

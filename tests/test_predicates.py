@@ -1,0 +1,296 @@
+"""Predicate model: evaluation, interventions, and safety per kind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicates import (
+    CompoundAndPredicate,
+    DataRacePredicate,
+    ExecutedPredicate,
+    FailurePredicate,
+    MethodFailsPredicate,
+    Observation,
+    OrderViolationPredicate,
+    PredicateKind,
+    TooFastPredicate,
+    TooSlowPredicate,
+    WrongReturnPredicate,
+    racy_window,
+)
+from repro.sim import Program, run_program
+from repro.sim.faults import (
+    CatchException,
+    DelayReturn,
+    ForceOrder,
+    ForceReturn,
+    SerializeMethods,
+)
+from repro.sim.tracing import MethodKey
+
+
+def _trace(program, seed=0, interventions=()):
+    return run_program(program, seed, interventions).trace
+
+
+@pytest.fixture(scope="module")
+def sample_program():
+    def main(ctx):
+        value = yield from ctx.call("Get", True)
+        yield from ctx.call("Slowish", 30)
+        try:
+            yield from ctx.call("Thrower")
+        except Exception:
+            pass
+        return value
+
+    def get(ctx, good):
+        yield from ctx.work(2)
+        return "good" if good else "bad"
+
+    def slowish(ctx, ticks):
+        yield from ctx.work(ticks)
+        return "done"
+
+    def thrower(ctx):
+        yield from ctx.work(1)
+        ctx.throw("Oops")
+
+    return Program(
+        name="preds",
+        methods={"Main": main, "Get": get, "Slowish": slowish, "Thrower": thrower},
+        main="Main",
+        readonly_methods=frozenset({"Get", "Slowish", "Thrower"}),
+    )
+
+
+class TestObservation:
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            Observation(10, 5)
+
+    def test_identity_is_pid_based(self):
+        key = MethodKey("M", "main", 0)
+        a = MethodFailsPredicate(key=key, exc_kind="E")
+        b = MethodFailsPredicate(key=key, exc_kind="E")
+        c = MethodFailsPredicate(key=key, exc_kind="Other")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestMethodFails(object):
+    def test_detects_exception(self, sample_program):
+        trace = _trace(sample_program)
+        key = MethodKey("Thrower", "main", 0)
+        pred = MethodFailsPredicate(key=key, exc_kind="Oops")
+        obs = pred.evaluate(trace)
+        assert obs is not None
+        assert obs.start == obs.end
+
+    def test_kind_mismatch_not_observed(self, sample_program):
+        trace = _trace(sample_program)
+        pred = MethodFailsPredicate(
+            key=MethodKey("Thrower", "main", 0), exc_kind="Different"
+        )
+        assert pred.evaluate(trace) is None
+
+    def test_intervention_is_catch(self, sample_program):
+        pred = MethodFailsPredicate(
+            key=MethodKey("Thrower", "main", 0), exc_kind="Oops"
+        )
+        (iv,) = pred.interventions()
+        assert isinstance(iv, CatchException)
+        repaired = _trace(sample_program, interventions=(iv,))
+        assert pred.evaluate(repaired) is None
+
+    def test_safety_requires_readonly(self, sample_program):
+        pred = MethodFailsPredicate(
+            key=MethodKey("Thrower", "main", 0), exc_kind="Oops"
+        )
+        assert pred.is_safe(sample_program)
+        unsafe = MethodFailsPredicate(
+            key=MethodKey("Main", "main", 0), exc_kind="Oops"
+        )
+        assert not unsafe.is_safe(sample_program)
+
+
+class TestDurations:
+    def test_too_slow_observed_and_anchored_at_excess(self, sample_program):
+        trace = _trace(sample_program)
+        slow = next(trace.executions_of("Slowish"))
+        pred = TooSlowPredicate(
+            key=slow.key, threshold=10, correct_return="done"
+        )
+        obs = pred.evaluate(trace)
+        assert obs is not None
+        assert obs.start == slow.start_time + 10  # the excess point
+        assert obs.end == slow.end_time
+
+    def test_too_slow_repaired_by_skip(self, sample_program):
+        key = MethodKey("Slowish", "main", 0)
+        pred = TooSlowPredicate(key=key, threshold=10, correct_return="done")
+        (iv,) = pred.interventions()
+        assert isinstance(iv, ForceReturn) and iv.skip_body
+        repaired = _trace(sample_program, interventions=(iv,))
+        assert pred.evaluate(repaired) is None
+
+    def test_too_fast_and_delay_repair(self, sample_program):
+        key = MethodKey("Slowish", "main", 0)
+        pred = TooFastPredicate(key=key, threshold=100)
+        trace = _trace(sample_program)
+        assert pred.evaluate(trace) is not None
+        (iv,) = pred.interventions()
+        assert isinstance(iv, DelayReturn)
+        repaired = _trace(sample_program, interventions=(iv,))
+        assert pred.evaluate(repaired) is None
+
+
+class TestWrongReturn:
+    def test_detect_and_repair(self, sample_program):
+        key = MethodKey("Get", "main", 0)
+        pred = WrongReturnPredicate(key=key, correct_value="other")
+        trace = _trace(sample_program)
+        assert pred.evaluate(trace) is not None  # "good" != "other"
+        correct = WrongReturnPredicate(key=key, correct_value="good")
+        assert correct.evaluate(trace) is None
+        (iv,) = pred.interventions()
+        repaired = _trace(sample_program, interventions=(iv,))
+        assert pred.evaluate(repaired) is None
+
+    def test_not_observed_on_exceptioned_call(self, sample_program):
+        pred = WrongReturnPredicate(
+            key=MethodKey("Thrower", "main", 0), correct_value="x"
+        )
+        assert pred.evaluate(_trace(sample_program)) is None
+
+
+class TestExecuted:
+    def test_observed_unless_skipped(self, sample_program):
+        key = MethodKey("Slowish", "main", 0)
+        pred = ExecutedPredicate(key=key, skip_value="done")
+        assert pred.evaluate(_trace(sample_program)) is not None
+        (iv,) = pred.interventions()
+        assert isinstance(iv, ForceReturn) and iv.skip_body
+        repaired = _trace(sample_program, interventions=(iv,))
+        assert pred.evaluate(repaired) is None
+
+
+class TestDataRace:
+    def test_canonical_pid_symmetry(self):
+        a = MethodKey("A", "t1", 0)
+        b = MethodKey("B", "t2", 0)
+        assert (
+            DataRacePredicate(a=a, b=b, obj="x").pid
+            == DataRacePredicate(a=b, b=a, obj="x").pid
+        )
+
+    def test_sandwich_semantics(self, racy_program):
+        failing_seed = next(
+            s for s in range(100) if run_program(racy_program, s).failed
+        )
+        trace = _trace(racy_program, seed=failing_seed)
+        updater = next(trace.executions_of("Updater"))
+        reader = next(trace.executions_of("Reader"))
+        window = racy_window(updater, reader, "counter")
+        assert window is not None
+        # The reader's intrusion lies strictly inside the protocol.
+        u_times = [a.time for a in updater.accesses if a.obj == "counter"]
+        assert min(u_times) == window.start
+        assert min(u_times) < window.end < max(u_times)
+
+    def test_near_miss_is_not_a_race(self, racy_program):
+        succeeding = next(
+            s for s in range(100) if not run_program(racy_program, s).failed
+        )
+        trace = _trace(racy_program, seed=succeeding)
+        updater = next(trace.executions_of("Updater"))
+        reader = next(trace.executions_of("Reader"))
+        assert racy_window(updater, reader, "counter") is None
+
+    def test_common_lock_suppresses_race(self, racy_program):
+        pred = DataRacePredicate(
+            a=MethodKey("Updater", "main", 0),
+            b=MethodKey("Reader", "reader", 0),
+            obj="counter",
+        )
+        (iv,) = pred.interventions()
+        assert isinstance(iv, SerializeMethods)
+        for seed in range(40):
+            trace = _trace(racy_program, seed=seed, interventions=(iv,))
+            assert pred.evaluate(trace) is None
+            assert not trace.failed
+
+
+class TestOrderViolation:
+    def test_detect_and_repair(self):
+        def main(ctx):
+            ctx.poke("early", ctx.rand() < 0.5)
+            yield from ctx.spawn("w", "Late")
+            yield from ctx.call("First")
+            yield from ctx.join("w")
+            return "ok"
+
+        def first(ctx):
+            yield from ctx.work(40)
+            return "first"
+
+        def late(ctx):
+            yield from ctx.work(5 if ctx.peek("early") else 100)
+            yield from ctx.call("Second")
+            return "late"
+
+        def second(ctx):
+            yield from ctx.work(3)
+            return "second"
+
+        program = Program(
+            name="order",
+            methods={"Main": main, "First": first, "Late": late, "Second": second},
+            main="Main",
+        )
+        pred = OrderViolationPredicate(
+            first=MethodKey("First", "main", 0),
+            second=MethodKey("Second", "w", 0),
+        )
+        observed = {
+            bool(pred.evaluate(_trace(program, seed=s))) for s in range(30)
+        }
+        assert observed == {True, False}, "violation must be intermittent"
+        (iv,) = pred.interventions()
+        assert isinstance(iv, ForceOrder)
+        for seed in range(15):
+            assert pred.evaluate(_trace(program, seed=seed, interventions=(iv,))) is None
+
+
+class TestCompoundAndFailure:
+    def test_compound_requires_all_parts(self, sample_program):
+        trace = _trace(sample_program)
+        good = WrongReturnPredicate(
+            key=MethodKey("Get", "main", 0), correct_value="other"
+        )
+        absent = MethodFailsPredicate(
+            key=MethodKey("Get", "main", 0), exc_kind="Nope"
+        )
+        both = CompoundAndPredicate(parts=(good, absent))
+        assert both.evaluate(trace) is None
+        fails = MethodFailsPredicate(
+            key=MethodKey("Thrower", "main", 0), exc_kind="Oops"
+        )
+        both2 = CompoundAndPredicate(parts=(good, fails))
+        obs = both2.evaluate(trace)
+        assert obs is not None
+        assert obs.start == max(
+            good.evaluate(trace).start, fails.evaluate(trace).start
+        )
+        assert both2.kind is PredicateKind.COMPOUND_AND
+        assert len(both2.interventions()) == 2
+
+    def test_failure_predicate_matches_signature(self, racy_program):
+        failing = next(s for s in range(100) if run_program(racy_program, s).failed)
+        trace = _trace(racy_program, seed=failing)
+        pred = FailurePredicate(signature=trace.failure.signature)
+        assert pred.evaluate(trace) is not None
+        other = FailurePredicate(signature="crash/Other")
+        assert other.evaluate(trace) is None
+        with pytest.raises(LookupError):
+            pred.interventions()

@@ -1,0 +1,96 @@
+"""Explanation rendering and experiment table formatting."""
+
+from __future__ import annotations
+
+from repro.core.discovery import DiscoveryResult
+from repro.core.intervention import InterventionBudget
+from repro.core.predicates import ExecutedPredicate, FailurePredicate
+from repro.core.report import explain
+from repro.harness.tables import render_table
+from repro.sim.tracing import MethodKey
+
+
+def _result(path):
+    budget = InterventionBudget()
+    budget.rounds = 6
+    budget.executions = 42
+    return DiscoveryResult(
+        causal_path=path, failure=path[-1], spurious=[], budget=budget
+    )
+
+
+def _defs(pids):
+    defs = {}
+    for pid in pids:
+        if pid.startswith("FAILURE"):
+            defs[pid] = FailurePredicate(signature="sig")
+        else:
+            defs[pid] = ExecutedPredicate(key=MethodKey(pid, "t", 0))
+    return defs
+
+
+class TestExplanation:
+    def test_roles_and_numbering(self):
+        path = ["root", "mid", "FAILURE[sig]"]
+        explanation = explain(_result(path), _defs(path))
+        roles = [s.role for s in explanation.steps]
+        assert roles == ["root cause", "effect", "failure"]
+        assert [s.index for s in explanation.steps] == [1, 2, 3]
+        assert explanation.root_cause.pid == "root"
+
+    def test_render_mentions_everything(self):
+        path = ["root", "FAILURE[sig]"]
+        text = explain(_result(path), _defs(path)).render()
+        assert "(1) [root cause]" in text
+        assert "6 intervention rounds" in text
+        assert "42 executions" in text
+
+    def test_empty_path_renders_gracefully(self):
+        path = ["FAILURE[sig]"]
+        explanation = explain(_result(path), _defs(path))
+        assert explanation.root_cause is None
+        assert "No causal predicate" in explanation.render()
+
+    def test_unknown_pid_falls_back_to_pid(self):
+        path = ["mystery", "FAILURE[sig]"]
+        explanation = explain(_result(path), _defs(["FAILURE[sig]"]))
+        assert explanation.steps[0].description == "mystery"
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = render_table(
+            headers=["name", "value"],
+            rows=[["a", 1], ["long-name", 123456]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert len(set(len(line) for line in lines[1:3])) == 1
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[1.0], [2.375], [1.23e9]])
+        assert text.splitlines()[2].strip() == "1"  # integral floats
+        assert "2.38" in text  # rounded to two decimals
+        assert "e+09" in text  # scientific for huge values
+
+
+class TestSDRanking:
+    def test_renders_ranked_list(self, racy_session):
+        from repro.core.report import render_sd_ranking
+
+        debugger = racy_session.analyze()
+        text = render_sd_ranking(
+            debugger.ranked(), racy_session._suite.defs, limit=3
+        )
+        assert "P=1.00 R=1.00" in text
+        assert "more predicates" in text
+        assert "suspect" in text
+
+    def test_limit_zero_hides_everything(self, racy_session):
+        from repro.core.report import render_sd_ranking
+
+        debugger = racy_session.analyze()
+        text = render_sd_ranking(debugger.ranked(), {}, limit=0)
+        assert "more predicates" in text

@@ -1,0 +1,113 @@
+"""Trace JSON round-trip and offline analysis on imported traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acdag import ACDag
+from repro.core.extraction import PredicateSuite
+from repro.core.statistical import StatisticalDebugger
+from repro.harness.runner import collect
+from repro.sim import run_program
+from repro.sim.serialize import (
+    ImportedTrace,
+    trace_from_dict,
+    trace_from_json,
+    trace_to_dict,
+    trace_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus(racy_program):
+    return collect(racy_program, n_success=15, n_fail=15)
+
+
+class TestRoundTrip:
+    def test_schema_fields(self, corpus):
+        payload = trace_to_dict(corpus.failures[0])
+        assert payload["schema"] == 1
+        assert payload["failure"]["mode"] == "crash"
+        call = payload["calls"][0]
+        for field in (
+            "method", "thread", "occurrence", "start_time", "end_time",
+            "return_value", "exception", "accesses",
+        ):
+            assert field in call
+
+    def test_method_executions_preserved(self, corpus):
+        original = corpus.failures[0]
+        restored = trace_from_json(trace_to_json(original))
+        assert isinstance(restored, ImportedTrace)
+        orig = original.method_executions()
+        back = restored.method_executions()
+        assert len(orig) == len(back)
+        for a, b in zip(orig, back):
+            assert a.key == b.key
+            assert a.start_time == b.start_time
+            assert a.end_time == b.end_time
+            assert a.exception == b.exception
+            assert len(a.accesses) == len(b.accesses)
+
+    def test_failure_metadata_preserved(self, corpus):
+        original = corpus.failures[0]
+        restored = trace_from_dict(trace_to_dict(original))
+        assert restored.failed
+        assert restored.failure.signature == original.failure.signature
+
+    def test_lookup_and_objects(self, corpus):
+        original = corpus.successes[0]
+        restored = trace_from_dict(trace_to_dict(original))
+        for m in original.method_executions():
+            assert restored.lookup(m.key) is not None
+        assert restored.objects_accessed() == original.objects_accessed()
+
+    def test_schema_version_checked(self, corpus):
+        payload = trace_to_dict(corpus.successes[0])
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_dict(payload)
+
+    def test_unjsonable_returns_coerced(self, racy_program):
+        # tuples become lists; exotic objects become reprs — never crash.
+        trace = run_program(racy_program, 0).trace
+        text = trace_to_json(trace)
+        assert text  # serializable end to end
+
+
+class TestOfflineAnalysis:
+    def test_full_pipeline_on_imported_traces(self, corpus, racy_program):
+        """Collect once, serialize, analyze entirely from JSON."""
+        successes = [
+            trace_from_json(trace_to_json(t)) for t in corpus.successes
+        ]
+        failures = [
+            trace_from_json(trace_to_json(t)) for t in corpus.failures
+        ]
+        suite = PredicateSuite.discover(
+            successes, failures, program=racy_program
+        )
+        logs = [suite.evaluate(t) for t in successes + failures]
+        sd = StatisticalDebugger(logs=logs)
+        fully = [
+            pid for pid in sd.fully_discriminative_pids()
+            if not pid.startswith("FAILURE[")
+        ]
+        assert any(pid.startswith("race(counter)") for pid in fully)
+        failure_pid = suite.failure_pids()[0]
+        dag = ACDag.build(
+            defs=dict(suite.defs),
+            failed_logs=[log for log in logs if log.failed],
+            failure=failure_pid,
+            candidate_pids=fully,
+        )
+        assert len(dag) == len(fully) + 1
+
+    def test_imported_equals_live_evaluation(self, corpus, racy_program):
+        suite = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=racy_program
+        )
+        for trace in corpus.failures[:5]:
+            live = suite.evaluate(trace)
+            offline = suite.evaluate(trace_from_json(trace_to_json(trace)))
+            assert set(live.observations) == set(offline.observations)

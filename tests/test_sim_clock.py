@@ -1,0 +1,77 @@
+"""Clocks: virtual time and Lamport bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import LamportClock, LamportRegistry, VirtualClock
+
+
+class TestVirtualClock:
+    def test_monotone(self):
+        clock = VirtualClock()
+        assert clock.now == 0
+        assert clock.advance(5) == 5
+        assert clock.advance(0) == 5
+        assert clock.now == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+
+class TestLamportClock:
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_merge_takes_max_then_ticks(self):
+        clock = LamportClock(time=3)
+        assert clock.merge(10) == 11
+        assert clock.merge(2) == 12  # already ahead: just ticks
+
+
+class TestLamportRegistry:
+    def test_happens_before_through_channel(self):
+        """Writer's stamp orders a later reader after it."""
+        registry = LamportRegistry()
+        writer, reader = LamportClock(), LamportClock()
+        stamp = registry.stamp("var:x", writer)
+        observed = registry.observe("var:x", reader)
+        assert observed > stamp
+
+    def test_independent_channels_do_not_interfere(self):
+        registry = LamportRegistry()
+        a, b = LamportClock(), LamportClock()
+        registry.stamp("var:x", a)
+        before = b.time
+        registry.observe("var:y", b)
+        assert b.time == before + 1  # only the local tick
+
+    def test_stamp_keeps_channel_maximum(self):
+        registry = LamportRegistry()
+        fast, slow = LamportClock(time=100), LamportClock(time=1)
+        registry.stamp("ch", fast)
+        registry.stamp("ch", slow)  # must not regress the channel
+        reader = LamportClock()
+        assert registry.observe("ch", reader) > 100
+
+
+class TestLamportInTraces:
+    def test_cross_thread_happens_before_reflected(self, racy_program):
+        """A spawned thread's lamport times exceed the spawn point's."""
+        from repro.sim import run_program
+
+        trace = run_program(racy_program, 2).trace
+        main_exec = next(trace.executions_of("Main"))
+        reader = next(trace.executions_of("Reader"))
+        assert reader.start_lamport > 0
+        assert main_exec.end_lamport > reader.end_lamport - 1000  # sane
+        # The racing read merges the writer's stamp: after the updater's
+        # first write, the reader's access lamport exceeds it.
+        updater = next(trace.executions_of("Updater"))
+        u_writes = [a for a in updater.accesses if a.is_write]
+        r_reads = [a for a in reader.accesses if a.obj == "counter"]
+        if r_reads and u_writes and r_reads[0].time > u_writes[0].time:
+            assert r_reads[0].lamport > u_writes[0].lamport

@@ -1,0 +1,161 @@
+"""Property/fuzz tests: random programs and interventions never break
+the simulator's structural invariants.
+
+Hypothesis generates small random multi-threaded programs (work, shared
+reads/writes, locks, nested calls, occasional throws) and random
+intervention sets; every resulting trace must be structurally sound.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    CatchException,
+    DelayReturn,
+    ForceReturn,
+    MethodSelector,
+    Program,
+    SerializeMethods,
+    run_program,
+)
+
+# One op: (kind, arg) where kind picks the ctx operation.
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["work", "read", "write", "locked_write", "call"]),
+        st.integers(1, 8),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _make_method(ops, callee_name):
+    def method(ctx, _ops=tuple(ops)):
+        for kind, arg in _ops:
+            if kind == "work":
+                yield from ctx.work(arg)
+            elif kind == "read":
+                yield from ctx.read(f"v{arg % 3}")
+            elif kind == "write":
+                yield from ctx.write(f"v{arg % 3}", arg)
+            elif kind == "locked_write":
+                yield from ctx.acquire("L")
+                yield from ctx.write(f"v{arg % 3}", arg)
+                yield from ctx.release("L")
+            elif kind == "call" and callee_name is not None:
+                yield from ctx.call(callee_name)
+        return "done"
+
+    return method
+
+
+def _build_program(worker_ops, helper_ops, n_workers):
+    def main(ctx):
+        for i in range(n_workers):
+            yield from ctx.spawn(f"w{i}", "Worker")
+        yield from ctx.call("Worker")
+        for i in range(n_workers):
+            yield from ctx.join(f"w{i}")
+        return "main-done"
+
+    return Program(
+        name="fuzz",
+        methods={
+            "Main": main,
+            "Worker": _make_method(worker_ops, "Helper"),
+            "Helper": _make_method(helper_ops, None),
+        },
+        main="Main",
+        shared={"v0": 0, "v1": 0, "v2": 0},
+        readonly_methods=frozenset({"Helper"}),
+    )
+
+
+def _check_trace_invariants(trace):
+    executions = trace.method_executions()
+    seen_keys = set()
+    for m in executions:
+        # windows well-formed, occurrences unique per (thread, method)
+        assert m.end_time >= m.start_time
+        assert m.key not in seen_keys
+        seen_keys.add(m.key)
+        # accesses inside the window, times non-decreasing
+        previous = None
+        for access in m.accesses:
+            assert m.start_time <= access.time <= m.end_time
+            if previous is not None:
+                assert access.time >= previous
+            previous = access.time
+    # parent windows contain children
+    by_id = {m.call_id: m for m in executions}
+    for m in executions:
+        if m.parent_call_id is not None and m.parent_call_id in by_id:
+            parent = by_id[m.parent_call_id]
+            assert parent.start_time <= m.start_time
+            assert m.end_time <= parent.end_time
+    # occurrence numbering dense per (thread, method)
+    per_key: dict = {}
+    for m in executions:
+        per_key.setdefault((m.thread, m.method), []).append(m.occurrence)
+    for occurrences in per_key.values():
+        assert sorted(occurrences) == list(range(len(occurrences)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(worker_ops=_OPS, helper_ops=_OPS, n_workers=st.integers(0, 3),
+       seed=st.integers(0, 1000))
+def test_property_random_programs_produce_wellformed_traces(
+    worker_ops, helper_ops, n_workers, seed
+):
+    program = _build_program(worker_ops, helper_ops, n_workers)
+    result = run_program(program, seed)
+    _check_trace_invariants(result.trace)
+    assert not result.failed  # no throws in this op set
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    worker_ops=_OPS,
+    helper_ops=_OPS,
+    seed=st.integers(0, 1000),
+    iv_choice=st.lists(st.sampled_from(["catch", "force", "delay", "lock"]),
+                       max_size=3),
+)
+def test_property_random_interventions_keep_traces_wellformed(
+    worker_ops, helper_ops, seed, iv_choice
+):
+    program = _build_program(worker_ops, helper_ops, 1)
+    interventions = []
+    for kind in iv_choice:
+        if kind == "catch":
+            interventions.append(
+                CatchException(MethodSelector("Helper"), fallback=None)
+            )
+        elif kind == "force":
+            interventions.append(
+                ForceReturn(MethodSelector("Helper"), value=0, skip_body=True)
+            )
+        elif kind == "delay":
+            interventions.append(DelayReturn(MethodSelector("Worker"), ticks=7))
+        else:
+            interventions.append(
+                SerializeMethods(
+                    selectors=(MethodSelector("Worker"),), lock_name="Lx"
+                )
+            )
+    result = run_program(program, seed, tuple(interventions))
+    _check_trace_invariants(result.trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(worker_ops=_OPS, seed=st.integers(0, 200))
+def test_property_determinism_under_fuzz(worker_ops, seed):
+    program = _build_program(worker_ops, [("work", 1)], 2)
+    first = run_program(program, seed).trace
+    second = run_program(program, seed).trace
+    sig = lambda t: [  # noqa: E731
+        (m.key, m.start_time, m.end_time) for m in t.method_executions()
+    ]
+    assert sig(first) == sig(second)

@@ -1,0 +1,240 @@
+"""Scheduler semantics: determinism, discrete-event timing, failures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    DEFAULT_MAX_STEPS,
+    Program,
+    Simulator,
+    run_program,
+)
+
+
+def _linear_program(body):
+    return Program(name="p", methods={"Main": body}, main="Main")
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, racy_program):
+        a = run_program(racy_program, 123).trace
+        b = run_program(racy_program, 123).trace
+        sig_a = [(m.key, m.start_time, m.end_time, m.return_value)
+                 for m in a.method_executions()]
+        sig_b = [(m.key, m.start_time, m.end_time, m.return_value)
+                 for m in b.method_executions()]
+        assert sig_a == sig_b
+        assert a.failed == b.failed
+
+    def test_different_seeds_vary_timing(self, racy_program):
+        timings = set()
+        for seed in range(20):
+            trace = run_program(racy_program, seed).trace
+            timings.add(
+                tuple(m.start_time for m in trace.method_executions())
+            )
+        assert len(timings) > 1, "seeds should produce varied interleavings"
+
+    def test_intermittent_failure(self, racy_program):
+        outcomes = [run_program(racy_program, s).failed for s in range(150)]
+        assert any(outcomes), "some interleavings must fail"
+        assert not all(outcomes), "some interleavings must succeed"
+
+
+class TestDiscreteEventTiming:
+    def test_work_occupies_virtual_time(self):
+        def main(ctx):
+            start = ctx.now()
+            yield from ctx.work(100)
+            assert ctx.now() - start >= 100
+            return "ok"
+
+        result = run_program(_linear_program(main), 0)
+        assert not result.failed
+
+    def test_long_work_lets_other_threads_run(self):
+        """A thread in work(200) must not block others (DES semantics)."""
+
+        def main(ctx):
+            yield from ctx.spawn("quick", "Quick")
+            yield from ctx.work(200)
+            finished_at = ctx.peek("quick_done")
+            assert finished_at is not None, "quick thread starved"
+            assert finished_at < ctx.now()
+            yield from ctx.join("quick")
+            return "ok"
+
+        def quick(ctx):
+            yield from ctx.work(5)
+            ctx.poke("quick_done", ctx.now())
+            return "quick"
+
+        program = Program(
+            name="des", methods={"Main": main, "Quick": quick}, main="Main"
+        )
+        for seed in range(10):
+            assert not run_program(program, seed).failed
+
+    def test_durations_control_ordering(self):
+        """A 10-tick task always completes before a 300-tick one."""
+
+        def main(ctx):
+            yield from ctx.spawn("slowpoke", "Slow")
+            yield from ctx.work(10)
+            assert ctx.peek("slow_done") is None
+            yield from ctx.join("slowpoke")
+            assert ctx.peek("slow_done") is not None
+            return "ok"
+
+        def slow(ctx):
+            yield from ctx.work(300)
+            ctx.poke("slow_done", True)
+            return "slow"
+
+        program = Program(
+            name="order", methods={"Main": main, "Slow": slow}, main="Main"
+        )
+        for seed in range(10):
+            assert not run_program(program, seed).failed
+
+    def test_event_timestamps_strictly_increase_per_thread(self, racy_program):
+        trace = run_program(racy_program, 5).trace
+        for m in trace.method_executions():
+            assert m.end_time > m.start_time
+            times = [a.time for a in m.accesses]
+            assert times == sorted(times)
+
+
+class TestFailureModes:
+    def test_deadlock_detected(self):
+        def main(ctx):
+            yield from ctx.spawn("other", "Other")
+            yield from ctx.acquire("a")
+            yield from ctx.work(10)
+            yield from ctx.acquire("b")  # other holds b, wants a
+            return "unreachable"
+
+        def other(ctx):
+            yield from ctx.acquire("b")
+            yield from ctx.work(10)
+            yield from ctx.acquire("a")
+            return "unreachable"
+
+        program = Program(
+            name="dl", methods={"Main": main, "Other": other}, main="Main"
+        )
+        modes = {run_program(program, s).failure.mode for s in range(5)}
+        assert modes == {"deadlock"}
+
+    def test_hang_detected_via_step_budget(self):
+        def main(ctx):
+            while True:
+                yield from ctx.work(1)
+
+        result = Simulator(_linear_program(main), max_steps=500).run(0)
+        assert result.failed
+        assert result.failure.mode == "hang"
+
+    def test_worker_crash_fails_the_execution(self):
+        def main(ctx):
+            yield from ctx.spawn("w", "Worker")
+            yield from ctx.join("w")
+            return "ok"
+
+        def worker(ctx):
+            yield from ctx.work(2)
+            ctx.throw("Boom", "worker died")
+
+        program = Program(
+            name="crash", methods={"Main": main, "Worker": worker}, main="Main"
+        )
+        result = run_program(program, 0)
+        assert result.failed
+        assert result.failure.mode == "crash"
+        assert result.failure.exception == "Boom"
+        assert result.failure.thread == "w"
+        assert result.failure.method == "Worker"
+
+    def test_crash_releases_locks(self):
+        def main(ctx):
+            yield from ctx.spawn("w", "Worker")
+            yield from ctx.work(20)
+            yield from ctx.acquire("shared")  # must not deadlock
+            yield from ctx.release("shared")
+            yield from ctx.join("w")
+            return "ok"
+
+        def worker(ctx):
+            yield from ctx.acquire("shared")
+            yield from ctx.work(2)
+            ctx.throw("Boom")
+
+        program = Program(
+            name="lockcrash", methods={"Main": main, "Worker": worker}, main="Main"
+        )
+        result = run_program(program, 0)
+        assert result.failure.mode == "crash"  # not a deadlock
+
+    def test_failure_signature_stable_across_seeds(self, racy_program):
+        signatures = {
+            run_program(racy_program, s).failure.signature
+            for s in range(200)
+            if run_program(racy_program, s).failed
+        }
+        assert signatures == {"crash/TornRead/Reader"}
+
+
+class TestThreadLifecycle:
+    def test_join_waits_for_completion(self):
+        def main(ctx):
+            yield from ctx.spawn("w", "Worker")
+            yield from ctx.join("w")
+            assert ctx.peek("done") is True
+            return "ok"
+
+        def worker(ctx):
+            yield from ctx.work(50)
+            ctx.poke("done", True)
+            return None
+
+        program = Program(
+            name="join", methods={"Main": main, "Worker": worker}, main="Main"
+        )
+        for seed in range(10):
+            assert not run_program(program, seed).failed
+
+    def test_duplicate_thread_name_rejected(self):
+        def main(ctx):
+            yield from ctx.spawn("w", "Worker")
+            yield from ctx.spawn("w", "Worker")
+
+        def worker(ctx):
+            yield from ctx.work(1)
+
+        program = Program(
+            name="dup", methods={"Main": main, "Worker": worker}, main="Main"
+        )
+        with pytest.raises(ValueError, match="duplicate thread name"):
+            run_program(program, 0)
+
+    def test_execution_waits_for_all_threads(self):
+        def main(ctx):
+            yield from ctx.spawn("bg", "Background")
+            return "main-done"  # exits without joining
+
+        def background(ctx):
+            yield from ctx.work(100)
+            ctx.poke("bg_done", True)
+            return None
+
+        program = Program(
+            name="bg", methods={"Main": main, "Background": background}, main="Main"
+        )
+        result = run_program(program, 0)
+        assert not result.failed
+        bg = next(result.trace.executions_of("Background"))
+        assert bg.end_time > 100
+
+    def test_default_step_budget_is_generous(self):
+        assert DEFAULT_MAX_STEPS >= 10_000

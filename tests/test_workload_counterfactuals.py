@@ -1,0 +1,73 @@
+"""Counterfactual ground truth, workload by workload.
+
+The strongest semantic check in the suite: for every case study,
+
+* intervening on **each causal-path predicate individually** stops the
+  failure on every replayed failing seed (they are genuine
+  counterfactual causes, Definition 1's third condition);
+* intervening on a **sample of noise predicates together** leaves the
+  failure standing (they are genuinely spurious);
+* applying the **root cause's repair** makes the program permanently
+  healthy across a fresh seed sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Approach
+from repro.sim import Simulator
+from repro.workloads.common import REGISTRY
+
+from .conftest import case_study_session
+
+
+@pytest.fixture(params=sorted(REGISTRY.names()))
+def case(request):
+    session = case_study_session(request.param)
+    report = session.run(Approach.AID)
+    return request.param, session, report
+
+
+def test_every_causal_predicate_is_counterfactual(case):
+    name, session, report = case
+    runner = session.make_runner()
+    for pid in report.causal_path[:-1]:
+        outcomes = runner.run_group(frozenset({pid}))
+        assert not any(o.failed for o in outcomes), (name, pid)
+
+
+def test_noise_predicates_are_not_counterfactual(case):
+    name, session, report = case
+    runner = session.make_runner()
+    causal = set(report.causal_path)
+    noise = sorted(set(report.fully_discriminative) - causal)
+    if not noise:
+        pytest.skip("no noise predicates")
+    # All noise together must still fail (none hides a cause).
+    outcomes = runner.run_group(frozenset(noise))
+    assert any(o.failed for o in outcomes), name
+
+
+def test_root_cause_repair_fixes_the_program(case):
+    name, session, report = case
+    root = report.discovery.root_cause
+    injections = session._suite[root].interventions()
+    simulator = Simulator(session.program)
+    for seed in range(120):
+        result = simulator.run(seed, injections)
+        assert not result.failed, (name, root, seed)
+
+
+def test_spurious_set_partitions_the_candidates(case):
+    """Every fully-discriminative predicate ends up in exactly one of:
+    causal, spurious, or discarded-at-AC-DAG-construction."""
+    name, __, report = case
+    causal = set(report.causal_path) - {report.discovery.failure}
+    spurious = set(report.discovery.spurious)
+    discarded = set(report.dag.discarded)
+    assert causal.isdisjoint(spurious)
+    assert causal.isdisjoint(discarded)
+    assert causal | spurious | discarded == set(
+        report.fully_discriminative
+    ), name

@@ -1,0 +1,124 @@
+"""The intervention-execution engine: parallel backends and memoization.
+
+Figure8-style sweeps through the engine, measuring what the tentpole
+promises:
+
+* **backend scaling** — the same simulator-backed intervention rounds at
+  ``--jobs`` 1 / 2 / 4 (serial vs fork-based process pool).  Speedups
+  are bounded by round sizes (early stop keeps rounds short) and fork
+  overhead, so the assertion is parity of results, with timings printed
+  for inspection;
+* **cold vs. warm cache** — a sweep repeated against a shared
+  :class:`~repro.exec.engine.ExecutionEngine` must answer the second
+  pass entirely from the outcome cache: zero new executions.
+
+Run with ``-s`` to see the stats reports inline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.discovery import causal_path_discovery
+from repro.core.intervention import SimulationRunner
+from repro.core.variants import Approach, discover
+from repro.exec import ExecutionEngine, ProcessPoolBackend, SerialBackend
+from repro.harness.experiments import figure8
+from repro.workloads.synthetic import generate_app, spec_for_maxt
+
+from .conftest import shared_session
+
+JOB_COUNTS = (1, 2, 4)
+
+
+def _engine(jobs: int) -> ExecutionEngine:
+    backend = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
+    return ExecutionEngine(backend)
+
+
+def _discover_with(session, engine):
+    base = session.make_runner()
+    runner = SimulationRunner(
+        simulator=base.simulator,
+        suite=base.suite,
+        failure_pid=base.failure_pid,
+        seeds=base.seeds,
+        engine=engine,
+    )
+    return causal_path_discovery(
+        session.build_dag(), runner, rng=random.Random(0)
+    )
+
+
+@pytest.mark.parametrize("jobs", JOB_COUNTS)
+def test_simulated_interventions_at_jobs(benchmark, jobs):
+    """One case study's intervention phase at --jobs 1/2/4."""
+    session = shared_session("kafka")
+    session.build_dag()
+    baseline = _discover_with(session, ExecutionEngine())
+
+    def run():
+        engine = _engine(jobs)
+        try:
+            return engine, _discover_with(session, engine)
+        finally:
+            engine.close()
+
+    benchmark.group = "parallel-jobs"
+    engine, result = benchmark(run)
+    assert result.causal_path == baseline.causal_path
+    assert result.budget.history == baseline.budget.history
+    print()
+    print(engine.stats.report(f"kafka interventions, jobs={jobs}"))
+
+
+@pytest.mark.parametrize("jobs", JOB_COUNTS)
+def test_figure8_sweep_at_jobs(benchmark, jobs):
+    """A small figure8-style oracle sweep routed through each backend."""
+    maxt = 18
+    apps = [
+        generate_app(5_000_000 + maxt * 131 + i, spec_for_maxt(maxt))
+        for i in range(6)
+    ]
+
+    def sweep():
+        engine = _engine(jobs)
+        try:
+            return [
+                discover(
+                    Approach.AID,
+                    app.dag,
+                    app.runner(engine=engine),
+                    rng=random.Random(i),
+                )
+                for i, app in enumerate(apps)
+            ]
+        finally:
+            engine.close()
+
+    benchmark.group = "parallel-figure8"
+    results = benchmark(sweep)
+    for app, result in zip(apps, results):
+        assert set(result.causal_path) - {"F"} == set(app.causal_path)
+
+
+def test_cold_vs_warm_cache(benchmark):
+    """The memoization payoff: a warm repeat executes zero interventions."""
+    engine = ExecutionEngine()
+    cold = figure8(maxt_values=(2, 18), apps_per_setting=10, engine=engine)
+    executed_cold = engine.stats.executed
+    assert executed_cold > 0
+
+    def warm_sweep():
+        return figure8(maxt_values=(2, 18), apps_per_setting=10, engine=engine)
+
+    benchmark.group = "warm-cache"
+    warm = benchmark(warm_sweep)
+    assert engine.stats.executed == executed_cold, "warm sweep re-executed"
+    assert warm.all_exact == cold.all_exact
+    for key, cell in warm.cells.items():
+        assert cell.rounds[: len(cold.cells[key].rounds)] == cold.cells[key].rounds
+    print()
+    print(engine.stats.report("figure8 cold+warm"))

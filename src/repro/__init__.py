@@ -15,6 +15,9 @@ including every substrate the paper depends on:
 * ``repro.workloads`` — the six case-study bugs of Section 7.1 as model
   programs with known ground truth, and the Section 7.2 synthetic
   application generator;
+* ``repro.exec`` — the intervention-execution engine: pluggable
+  serial/thread/process backends, outcome memoization with JSON
+  persistence, and execution statistics;
 * ``repro.harness`` — corpus collection, end-to-end sessions, and the
   drivers that regenerate every table and figure of the evaluation.
 
@@ -27,6 +30,15 @@ Quickstart::
     print(report.explanation.render())
 """
 
+from .exec import (
+    ExecStats,
+    ExecutionEngine,
+    OutcomeCache,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
 from .core import (
     ACDag,
     Approach,
@@ -59,9 +71,15 @@ __all__ = [
     "AIDSession",
     "Approach",
     "DiscoveryResult",
+    "ExecStats",
+    "ExecutionEngine",
     "Explanation",
     "GIWP",
+    "OutcomeCache",
     "PredicateSuite",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
     "Program",
     "REGISTRY",
     "SessionConfig",
@@ -80,6 +98,7 @@ __all__ = [
     "figure8",
     "generate_app",
     "load_workload",
+    "make_backend",
     "run_program",
     "__version__",
 ]

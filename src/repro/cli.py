@@ -10,15 +10,23 @@ Commands
     Regenerate the paper's evaluation artifacts as text tables.
 ``trace <workload> --seed N [--out FILE]``
     Run one execution and dump its trace as JSON (Figure 9(b) schema).
+
+The intervention-heavy commands (``debug``, ``figure7``, ``figure8``)
+accept execution-engine flags: ``--jobs N`` / ``--backend
+{serial,thread,process}`` pick where intervened re-executions run, and
+``--cache FILE`` persists intervention outcomes so a repeated sweep
+replays from memoization instead of re-executing.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from .core.variants import Approach
+from .exec import ExecutionEngine, OutcomeCache, make_backend
 from .harness.experiments import (
     example3_report,
     figure6_report,
@@ -32,6 +40,55 @@ from .harness.tables import render_table
 from .sim.scheduler import Simulator
 from .sim.serialize import trace_to_json
 from .workloads.common import REGISTRY
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel intervened executions (default 1; >1 implies "
+        "--backend thread unless given)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["serial", "thread", "process"],
+        help="execution backend for intervened runs (default serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help="JSON outcome cache; loaded if present, saved on exit",
+    )
+
+
+def _make_engine(args: argparse.Namespace) -> ExecutionEngine:
+    if args.cache is not None:
+        # Fail before the sweep, not at save time after all the work.
+        parent = os.path.dirname(os.path.abspath(args.cache))
+        if not os.path.isdir(parent):
+            raise SystemExit(
+                f"repro: --cache: directory {parent} does not exist"
+            )
+    try:
+        cache = OutcomeCache(path=args.cache)
+    except ValueError as exc:
+        raise SystemExit(f"repro: --cache: {exc}") from exc
+    return ExecutionEngine(
+        backend=make_backend(args.backend, args.jobs), cache=cache
+    )
+
+
+def _finish_engine(engine: ExecutionEngine) -> None:
+    saved = engine.flush()
+    engine.close()
+    print()
+    print(engine.stats.report())
+    if saved is not None:
+        print(f"outcome cache: {len(engine.cache)} entries -> {saved}")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -51,40 +108,56 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_debug(args: argparse.Namespace) -> int:
     workload = REGISTRY.build(args.workload)
-    config = SessionConfig(
-        n_success=args.runs, n_fail=args.runs, rng_seed=args.seed
-    )
-    session = AIDSession(workload.program, config)
-    report = session.run(Approach(args.approach))
-    print(f"workload : {workload.name} ({workload.paper.github_issue})")
-    print(f"approach : {report.approach.value}")
-    print(
-        f"predicates: {report.n_sd_predicates} fully discriminative "
-        f"(paper: {workload.paper.sd_predicates})"
-    )
-    print(
-        f"rounds   : {report.n_rounds} intervention rounds, "
-        f"{report.discovery.n_executions} executions"
-    )
-    print()
-    print(report.explanation.render())
-    if args.dot:
+    engine = _make_engine(args)
+    try:
+        config = SessionConfig(
+            n_success=args.runs, n_fail=args.runs, rng_seed=args.seed,
+            engine=engine,
+        )
+        session = AIDSession(workload.program, config)
+        report = session.run(Approach(args.approach))
+        print(f"workload : {workload.name} ({workload.paper.github_issue})")
+        print(f"approach : {report.approach.value}")
+        print(
+            f"predicates: {report.n_sd_predicates} fully discriminative "
+            f"(paper: {workload.paper.sd_predicates})"
+        )
+        print(
+            f"rounds   : {report.n_rounds} intervention rounds, "
+            f"{report.discovery.n_executions} executions"
+        )
         print()
-        print(report.dag.to_dot())
+        print(report.explanation.render())
+        if args.dot:
+            print()
+            print(report.dag.to_dot())
+    finally:
+        # An interrupted sweep still persists the outcomes it paid for.
+        _finish_engine(engine)
     return 0
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
-    results = figure7()
-    print(figure7_report(results))
+    engine = _make_engine(args)
+    try:
+        results = figure7(engine=engine)
+        print(figure7_report(results))
+    finally:
+        _finish_engine(engine)
     return 0 if all(r.matches_ground_truth for r in results) else 1
 
 
 def _cmd_figure8(args: argparse.Namespace) -> int:
-    result = figure8(apps_per_setting=args.apps, seed=args.seed)
-    print(figure8_report(result))
-    print(f"\napps per setting: {result.n_apps}; "
-          f"exact recovery everywhere: {result.all_exact}")
+    engine = _make_engine(args)
+    try:
+        result = figure8(
+            apps_per_setting=args.apps, seed=args.seed, engine=engine
+        )
+        print(figure8_report(result))
+        print(f"\napps per setting: {result.n_apps}; "
+              f"exact recovery everywhere: {result.all_exact}")
+    finally:
+        _finish_engine(engine)
     return 0 if result.all_exact else 1
 
 
@@ -134,12 +207,15 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--seed", type=int, default=0)
     debug.add_argument("--dot", action="store_true",
                        help="also print the AC-DAG in Graphviz format")
+    _add_engine_flags(debug)
 
-    sub.add_parser("figure7", help="regenerate the case-study table")
+    fig7 = sub.add_parser("figure7", help="regenerate the case-study table")
+    _add_engine_flags(fig7)
 
     fig8 = sub.add_parser("figure8", help="regenerate the synthetic sweep")
     fig8.add_argument("--apps", type=int, default=100)
     fig8.add_argument("--seed", type=int, default=7)
+    _add_engine_flags(fig8)
 
     fig6 = sub.add_parser("figure6", help="regenerate the theory table")
     fig6.add_argument("--junctions", type=int, default=3)

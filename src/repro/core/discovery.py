@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from .acdag import ACDag
 from .branch import BranchPruneResult, branch_prune
@@ -27,6 +27,9 @@ from .intervention import (
     InterventionRunner,
 )
 from .pruning import GroupItem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
 
 
 @dataclass
@@ -76,6 +79,7 @@ def causal_path_discovery(
     observational_pruning: bool = True,
     ordering: str = "topological",
     rng: Optional[random.Random] = None,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> DiscoveryResult:
     """Run Algorithm 3 and return the discovered causal path.
 
@@ -93,17 +97,26 @@ def causal_path_discovery(
     ordering:
         ``"topological"`` (AID and ablations) or ``"random"``
         (traditional adaptive group testing, which ignores the DAG).
+    engine:
+        Execution engine to account rounds on; defaults to the runner's
+        own (all execution already flows through it via the runner).
     """
     if ordering not in ("topological", "random"):
         raise ValueError(f"unknown ordering {ordering!r}")
     rng = rng or random.Random(0)
     work = dag.copy()
     counting = CountingRunner(runner)
+    if engine is None:
+        engine = counting.engine
 
     branch_result: Optional[BranchPruneResult] = None
     if branch_pruning:
         branch_result = branch_prune(
-            work, counting, rng=rng, observational_pruning=observational_pruning
+            work,
+            counting,
+            rng=rng,
+            observational_pruning=observational_pruning,
+            engine=engine,
         )
 
     candidates = sorted(work.predicates)
@@ -119,7 +132,10 @@ def causal_path_discovery(
         reaches = lambda a, b: False  # noqa: E731
 
     chain = GIWP(
-        counting, reaches=reaches, observational_pruning=observational_pruning
+        counting,
+        reaches=reaches,
+        observational_pruning=observational_pruning,
+        engine=engine,
     ).run(items)
 
     causal = [i.pid for i in chain.causal]
@@ -147,7 +163,9 @@ def linear_discovery(
     """Naive baseline: intervene on one predicate at a time (N rounds).
 
     The paper's Section 2 strawman ("the number of required
-    interventions is linear in the number of predicates").
+    interventions is linear in the number of predicates").  The probes
+    never depend on each other, so all N rounds are dispatched as one
+    batch — the engine's backend decides how many run concurrently.
     """
     rng = rng or random.Random(0)
     counting = CountingRunner(runner)
@@ -155,8 +173,8 @@ def linear_discovery(
     spurious: list[str] = []
     pool = sorted(dag.predicates)
     rng.shuffle(pool)
-    for pid in pool:
-        outcomes = counting.run_group(frozenset({pid}))
+    batch = counting.run_group_batch([frozenset({pid}) for pid in pool])
+    for pid, outcomes in zip(pool, batch):
         if any(o.failed for o in outcomes):
             spurious.append(pid)
         else:

@@ -28,9 +28,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from .intervention import InterventionRunner, RunOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
 from .pruning import (
     GroupItem,
     ReachesFn,
@@ -108,6 +111,13 @@ class GIWP:
     observational_pruning:
         Definition 2 pruning of non-intervened items (lines 15-17).
         Disabled for the AID-P / AID-P-B ablations and TAGT.
+    engine:
+        Optional execution engine (usually the runner's own); rounds are
+        marked on its stats so :class:`~repro.exec.stats.ExecStats` can
+        report algorithm-level round counts next to execution counts.
+    phase:
+        Stats label for this GIWP instance's rounds (``giwp`` for the
+        chain phase, ``branch`` during branch pruning).
     """
 
     def __init__(
@@ -117,6 +127,8 @@ class GIWP:
         observational_pruning: bool = True,
         probe_all_first: bool = False,
         on_round: Optional[Callable[[RoundRecord], None]] = None,
+        engine: Optional["ExecutionEngine"] = None,
+        phase: str = "giwp",
     ) -> None:
         self.runner = runner
         self.reaches = reaches
@@ -127,6 +139,16 @@ class GIWP:
         #: causal-path assumption makes all-noise pools the common case.
         self.probe_all_first = probe_all_first
         self.on_round = on_round
+        self.engine = engine if engine is not None else getattr(
+            runner, "engine", None
+        )
+        self.phase = phase
+
+    def _finish_round(self, record: RoundRecord) -> None:
+        if self.engine is not None:
+            self.engine.note_round(self.phase)
+        if self.on_round is not None:
+            self.on_round(record)
 
     def run(self, items: Sequence[GroupItem]) -> GIWPResult:
         """Resolve every item as causal or spurious."""
@@ -142,8 +164,7 @@ class GIWP:
                 stopped=failure_stopped(outcomes),
             )
             result.rounds.append(record)
-            if self.on_round is not None:
-                self.on_round(record)
+            self._finish_round(record)
             if not record.stopped:
                 for item in list(items):
                     self._mark_spurious(item, remaining, result)
@@ -187,8 +208,7 @@ class GIWP:
                 half, outcomes, remaining, order, result
             )
             result.rounds.append(record)
-            if self.on_round is not None:
-                self.on_round(record)
+            self._finish_round(record)
             if record.stopped and len(half) > 1:
                 # The half hides at least one cause: recurse (line 10).
                 self._solve(list(half), remaining, order, result)

@@ -20,11 +20,15 @@ nondeterministic — footnote 1 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Protocol, Sequence
 
 from ..sim.faults import Intervention, InterventionSet
 from ..sim.scheduler import Simulator
 from .extraction import PredicateSuite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.cache import RunRequest
+    from ..exec.engine import ExecutionEngine
 
 
 @dataclass(frozen=True)
@@ -75,6 +79,23 @@ class CountingRunner:
         self.budget.record(pids, outcomes)
         return outcomes
 
+    def run_group_batch(
+        self, groups: Sequence[frozenset[str]]
+    ) -> list[Sequence[RunOutcome]]:
+        """Independent rounds in one dispatch, each recorded in order."""
+        groups = list(groups)
+        inner_batch = getattr(self.inner, "run_group_batch", None)
+        if inner_batch is None:
+            return [self.run_group(pids) for pids in groups]
+        results = inner_batch(groups)
+        for pids, outcomes in zip(groups, results):
+            self.budget.record(pids, outcomes)
+        return results
+
+    @property
+    def engine(self) -> Optional["ExecutionEngine"]:
+        return getattr(self.inner, "engine", None)
+
 
 class SimulationRunner:
     """Intervention runner backed by the concurrency simulator.
@@ -99,6 +120,15 @@ class SimulationRunner:
         Stop the round at the first failing execution — a single
         counter-example suffices for every pruning decision the
         algorithms make (paper footnote 1).
+    engine:
+        Execution engine the runs are routed through.  The default
+        (serial backend, in-memory cache) reproduces the historical
+        in-line loop bit-identically while memoizing repeated groups.
+    workload:
+        Cache-key namespace for this runner's executions.  Must change
+        whenever the predicate suite or simulator would produce
+        different outcomes for the same ``(seed, pids)``; defaults to
+        the program name plus the step budget.
     """
 
     def __init__(
@@ -108,6 +138,8 @@ class SimulationRunner:
         failure_pid: str,
         seeds: Sequence[int],
         early_stop: bool = True,
+        engine: Optional["ExecutionEngine"] = None,
+        workload: Optional[str] = None,
     ) -> None:
         if not seeds:
             raise ValueError("SimulationRunner needs at least one seed")
@@ -116,6 +148,15 @@ class SimulationRunner:
         self.failure_pid = failure_pid
         self.seeds = list(seeds)
         self.early_stop = early_stop
+        if engine is None:
+            from ..exec.engine import ExecutionEngine
+
+            engine = ExecutionEngine()
+        self.engine = engine
+        self.workload = workload or (
+            f"{simulator.program.name}@{simulator.max_steps}"
+        )
+        self._injections: dict[frozenset[str], InterventionSet] = {}
 
     def interventions_for(self, pids: Iterable[str]) -> tuple[Intervention, ...]:
         """Collect (deduplicated) fault injections repairing ``pids``."""
@@ -128,23 +169,50 @@ class SimulationRunner:
                     collected.append(item)
         return tuple(collected)
 
+    def _injection_set(self, pids: frozenset[str]) -> InterventionSet:
+        cached = self._injections.get(pids)
+        if cached is None:
+            cached = InterventionSet(self.interventions_for(pids))
+            self._injections[pids] = cached
+        return cached
+
+    def execute_request(self, request: "RunRequest") -> RunOutcome:
+        """One intervened execution — the engine's ``run_fn``."""
+        injections = self._injection_set(request.pids)
+        result = self.simulator.run(request.seed, injections)
+        log = self.suite.evaluate(result.trace, seed=request.seed)
+        return RunOutcome(
+            observed=frozenset(log.observations),
+            failed=log.observed(self.failure_pid),
+            seed=request.seed,
+        )
+
+    def _requests(self, pids: frozenset[str]) -> list["RunRequest"]:
+        from ..exec.cache import RunRequest
+
+        return [RunRequest(self.workload, seed, pids) for seed in self.seeds]
+
     def run_group(self, pids: frozenset[str]) -> list[RunOutcome]:
-        injections = InterventionSet(self.interventions_for(pids))
-        outcomes: list[RunOutcome] = []
-        for seed in self.seeds:
-            result = self.simulator.run(seed, injections)
-            log = self.suite.evaluate(result.trace, seed=seed)
-            failed = log.observed(self.failure_pid)
-            outcomes.append(
-                RunOutcome(
-                    observed=frozenset(log.observations),
-                    failed=failed,
-                    seed=seed,
-                )
+        return list(
+            self.engine.run_group(
+                self._requests(pids),
+                self.execute_request,
+                early_stop=self.early_stop,
             )
-            if failed and self.early_stop:
-                break
-        return outcomes
+        )
+
+    def run_group_batch(
+        self, groups: Sequence[frozenset[str]]
+    ) -> list[list[RunOutcome]]:
+        """Independent rounds dispatched as one batch (LINEAR, probes)."""
+        return [
+            list(outcomes)
+            for outcomes in self.engine.run_independent_groups(
+                [self._requests(pids) for pids in groups],
+                self.execute_request,
+                early_stop=self.early_stop,
+            )
+        ]
 
 
 @dataclass

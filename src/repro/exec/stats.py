@@ -1,0 +1,73 @@
+"""Execution accounting: what ran, what was memoized, what it cost.
+
+One :class:`ExecStats` instance accumulates over an engine's lifetime —
+a single ``debug`` command, a whole ``figure7`` sweep — so its report
+answers the questions the tentpole cares about: how many simulator runs
+actually executed, how many were answered from cache, and how much
+wall time the backend dispatches took versus their serial-equivalent
+cost (the summed per-run durations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecStats:
+    """Counters for one execution engine."""
+
+    #: Wall-clock seconds spent inside backend dispatches.
+    wall_time: float = 0.0
+    #: Summed per-run durations — what a serial backend would have paid.
+    run_time: float = 0.0
+    #: Executions actually performed (cache misses, incl. speculative
+    #: runs a parallel wave started past an early-stop point).
+    executed: int = 0
+    #: Executions answered from the outcome cache.
+    cached: int = 0
+    #: Intervention groups routed through the engine.
+    groups: int = 0
+    #: Backend dispatches (waves / independent-group batches).
+    batches: int = 0
+    #: Algorithm rounds by phase (e.g. ``giwp``, ``branch``).
+    rounds: dict[str, int] = field(default_factory=dict)
+
+    def note_round(self, phase: str) -> None:
+        self.rounds[phase] = self.rounds.get(phase, 0) + 1
+
+    @property
+    def total_runs(self) -> int:
+        """Runs the algorithms asked for, executed or memoized."""
+        return self.executed + self.cached
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cached / self.total_runs if self.total_runs else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over actual wall time (≈1.0 serial)."""
+        if self.wall_time <= 0.0:
+            return 1.0
+        return self.run_time / self.wall_time
+
+    def report(self, title: str = "exec stats") -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"{title}:",
+            f"  runs      : {self.total_runs} requested = "
+            f"{self.executed} executed + {self.cached} cached "
+            f"({self.hit_rate:.0%} hit rate)",
+            f"  groups    : {self.groups} intervention groups, "
+            f"{self.batches} backend dispatches",
+            f"  wall time : {self.wall_time:.3f}s "
+            f"(serial-equivalent {self.run_time:.3f}s, "
+            f"speedup {self.speedup:.2f}x)",
+        ]
+        if self.rounds:
+            phases = ", ".join(
+                f"{phase}={count}" for phase, count in sorted(self.rounds.items())
+            )
+            lines.append(f"  rounds    : {phases}")
+        return "\n".join(lines)

@@ -16,8 +16,8 @@ print the artifact.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import networkx as nx
 
@@ -33,6 +33,9 @@ from ..workloads.common import REGISTRY, Workload
 from ..workloads.synthetic import generate_app, spec_for_maxt
 from .session import AIDSession, SessionConfig, SessionReport
 from .tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
 
 CASE_STUDY_ORDER = (
     "npgsql",
@@ -106,11 +109,20 @@ class CaseStudyResult:
 
 
 def figure7_row(
-    name: str, config: Optional[SessionConfig] = None
+    name: str,
+    config: Optional[SessionConfig] = None,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> CaseStudyResult:
-    """Run AID and TAGT on one case study."""
+    """Run AID and TAGT on one case study.
+
+    With a shared ``engine``, AID's and TAGT's overlapping rounds (and
+    any earlier sweep persisted in the engine's cache) are memoized.
+    """
     workload = REGISTRY.build(name)
-    session = AIDSession(workload.program, config or SessionConfig())
+    cfg = config or SessionConfig()
+    if engine is not None:
+        cfg = replace(cfg, engine=engine)
+    session = AIDSession(workload.program, cfg)
     aid = session.run(Approach.AID)
     tagt = session.run(Approach.TAGT)
     return CaseStudyResult(workload=workload, aid=aid, tagt=tagt)
@@ -119,9 +131,10 @@ def figure7_row(
 def figure7(
     names: Sequence[str] = CASE_STUDY_ORDER,
     config: Optional[SessionConfig] = None,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> list[CaseStudyResult]:
     """All Figure 7 rows."""
-    return [figure7_row(name, config) for name in names]
+    return [figure7_row(name, config, engine) for name in names]
 
 
 def figure7_report(results: Sequence[CaseStudyResult]) -> str:
@@ -180,11 +193,15 @@ def figure8(
     maxt_values: Sequence[int] = FIGURE8_MAXT,
     apps_per_setting: int = 100,
     seed: int = 7,
+    engine: Optional["ExecutionEngine"] = None,
 ) -> Figure8Result:
     """The Section 7.2 synthetic experiment.
 
     The paper uses 500 apps per setting; the default here is 100 (the
-    oracle makes either cheap — raise it for tighter averages).
+    oracle makes either cheap — raise it for tighter averages).  A
+    shared ``engine`` memoizes overlapping rounds across the four
+    approaches per app, and — with a persistent cache — across whole
+    sweep invocations.
     """
     cells: dict[tuple[int, Approach], Figure8Cell] = {}
     avg_preds: dict[int, float] = {}
@@ -202,7 +219,7 @@ def figure8(
                 result = discover(
                     approach,
                     app.dag,
-                    app.runner(),
+                    app.runner(engine=engine),
                     rng=random.Random(seed + i),
                 )
                 found = set(result.causal_path) - {result.failure}

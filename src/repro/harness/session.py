@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..core.acdag import ACDag
 from ..core.discovery import DiscoveryResult
@@ -27,6 +27,9 @@ from ..core.variants import Approach, discover
 from ..sim.program import Program
 from ..sim.scheduler import DEFAULT_MAX_STEPS, Simulator
 from .runner import LabeledCorpus, collect
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
 
 
 @dataclass
@@ -43,6 +46,11 @@ class SessionConfig:
     rng_seed: int = 0
     extractors: Optional[Sequence[Extractor]] = None
     policy: Optional[PrecedencePolicy] = None
+    #: Intervention-execution engine (backend + outcome cache + stats),
+    #: shareable across sessions so sweeps pool their memoization.
+    #: ``None`` gives each runner a private serial engine — bit-identical
+    #: to historical in-line execution.
+    engine: Optional["ExecutionEngine"] = None
 
 
 @dataclass
@@ -180,14 +188,36 @@ class AIDSession:
             suite=self._suite,
             failure_pid=self._failure_pid,
             seeds=seeds,
+            engine=self.config.engine,
+            workload=self._workload_key(),
         )
+
+    def _workload_key(self) -> str:
+        """Cache namespace: everything that shapes this session's suite
+        and simulator (so persisted outcomes never leak across
+        incompatible configurations).  Custom extractors enter the key
+        by class name; differently-*parameterized* instances of one
+        extractor class still collide — construct the runner with an
+        explicit ``workload`` for that case."""
+        cfg = self.config
+        key = (
+            f"{self.program.name}"
+            f"#s{cfg.start_seed}+{cfg.n_success}/{cfg.n_fail}"
+            f"@{cfg.max_steps}"
+        )
+        if cfg.extractors is not None:
+            names = ",".join(sorted(type(e).__name__ for e in cfg.extractors))
+            key += f"!x[{names}]"
+        return key
 
     def run(self, approach: Approach | str = Approach.AID) -> SessionReport:
         """Stages 5-6: interventions, causal path, explanation."""
         dag = self.build_dag()
         runner = self.make_runner()
         rng = random.Random(self.config.rng_seed)
-        discovery = discover(approach, dag, runner, rng=rng)
+        discovery = discover(
+            approach, dag, runner, rng=rng, engine=self.config.engine
+        )
         explanation = explain(discovery, self._suite.defs)
         return SessionReport(
             program=self.program,

@@ -27,15 +27,20 @@ what makes 500-app sweeps practical.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import networkx as nx
 
 from ..core.acdag import ACDag
 from ..core.intervention import RunOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.cache import RunRequest
+    from ..exec.engine import ExecutionEngine
 
 FAILURE_PID = "F"
 
@@ -78,19 +83,70 @@ class SyntheticApp:
     def n_causal(self) -> int:
         return len(self.causal_path)
 
-    def runner(self) -> "OracleRunner":
-        return OracleRunner(self)
+    def runner(self, engine: Optional["ExecutionEngine"] = None) -> "OracleRunner":
+        return OracleRunner(self, engine=engine)
 
 
 class OracleRunner:
-    """Intervention runner answering from the ground-truth model."""
+    """Intervention runner answering from the ground-truth model.
 
-    def __init__(self, app: SyntheticApp) -> None:
+    Like :class:`~repro.core.intervention.SimulationRunner`, all its
+    answers flow through an execution engine, so oracle-driven sweeps
+    (Figure 8) get the same memoization, persistence, and accounting as
+    simulator-backed sessions.  The model is deterministic, so one
+    request (seed 0) per group suffices.
+    """
+
+    def __init__(
+        self,
+        app: SyntheticApp,
+        engine: Optional["ExecutionEngine"] = None,
+    ) -> None:
         self.app = app
         self._topo = self.app.dag.topological_order()
         self._causal_index = {pid: i for i, pid in enumerate(app.causal_path)}
+        if engine is None:
+            from ..exec.engine import ExecutionEngine
+
+            engine = ExecutionEngine()
+        self.engine = engine
+        # The generation seed alone is ambiguous (the same seed under a
+        # different SyntheticSpec yields a different model), so the key
+        # fingerprints the ground truth the outcomes actually depend on.
+        model = repr(
+            (app.causal_path, sorted(app.parents.items()), self._topo)
+        ).encode()
+        fingerprint = hashlib.md5(model).hexdigest()[:12]
+        self.workload = f"synthetic/{app.seed}/{fingerprint}"
+
+    def execute_request(self, request: "RunRequest") -> RunOutcome:
+        return self._model_outcome(request.pids)
+
+    def _request(self, pids: frozenset[str]) -> "RunRequest":
+        from ..exec.cache import RunRequest
+
+        return RunRequest(self.workload, 0, pids)
 
     def run_group(self, pids: frozenset[str]) -> list[RunOutcome]:
+        return list(
+            self.engine.run_group(
+                [self._request(pids)], self.execute_request, early_stop=False
+            )
+        )
+
+    def run_group_batch(
+        self, groups: Sequence[frozenset[str]]
+    ) -> list[list[RunOutcome]]:
+        return [
+            list(outcomes)
+            for outcomes in self.engine.run_independent_groups(
+                [[self._request(pids)] for pids in groups],
+                self.execute_request,
+                early_stop=False,
+            )
+        ]
+
+    def _model_outcome(self, pids: frozenset[str]) -> RunOutcome:
         occurred: set[str] = set()
         path = self.app.causal_path
         for pid in self._topo:
@@ -107,7 +163,7 @@ class OracleRunner:
         failed = bool(path) and path[-1] in occurred
         if failed:
             occurred.add(FAILURE_PID)
-        return [RunOutcome(observed=frozenset(occurred), failed=failed)]
+        return RunOutcome(observed=frozenset(occurred), failed=failed)
 
 
 def generate_app(seed: int, spec: Optional[SyntheticSpec] = None) -> SyntheticApp:

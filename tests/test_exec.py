@@ -1,0 +1,464 @@
+"""The intervention-execution engine: backends, scheduler, cache, stats.
+
+Covers the tentpole's guarantees:
+
+* every backend is an order-preserving map, and discovery results are
+  *identical* (causal path, spurious set, budget history) across serial,
+  thread, and process backends — both for the synthetic oracle and for a
+  real simulator-backed session;
+* the scheduler preserves serial early-stop semantics exactly, caching
+  (but not returning) speculative wave overshoot;
+* the outcome cache accounts hits/misses and survives a JSON round-trip,
+  and a warm engine replays a discovery with zero new executions;
+* the CLI flags wire it all up.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.discovery import causal_path_discovery, linear_discovery
+from repro.core.intervention import RunOutcome, SimulationRunner
+from repro.core.variants import Approach, discover
+from repro.exec import (
+    ExecStats,
+    ExecutionEngine,
+    OutcomeCache,
+    ProcessPoolBackend,
+    RunRequest,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+from repro.workloads.synthetic import generate_app, spec_for_maxt
+
+ALL_BACKENDS = [
+    lambda: SerialBackend(),
+    lambda: ThreadPoolBackend(3),
+    lambda: ProcessPoolBackend(3),
+]
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class TestBackends:
+    @pytest.mark.parametrize("factory", ALL_BACKENDS)
+    def test_map_preserves_order(self, factory):
+        backend = factory()
+        try:
+            assert backend.map(lambda x: x * x, list(range(20))) == [
+                x * x for x in range(20)
+            ]
+        finally:
+            backend.close()
+
+    def test_thread_pool_actually_uses_threads(self):
+        backend = ThreadPoolBackend(4)
+        try:
+            names = set(backend.map(
+                lambda _: threading.current_thread().name, range(8)
+            ))
+            assert any(name.startswith("repro-exec") for name in names)
+        finally:
+            backend.close()
+
+    def test_process_pool_handles_closures(self):
+        # The whole point of the fork trampoline: unpicklable callables.
+        secret = {"offset": 41}
+        backend = ProcessPoolBackend(2)
+        assert backend.map(lambda x: x + secret["offset"], [1, 2]) == [42, 43]
+
+    def test_make_backend_defaults(self):
+        assert make_backend(None, None).name == "serial"
+        assert make_backend(None, 1).name == "serial"
+        assert make_backend(None, 4).name == "thread"
+        assert make_backend("process", 2).name == "process"
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu", 2)
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+def _request(pids, seed=0, workload="w"):
+    return RunRequest(workload, seed, frozenset(pids))
+
+
+def _outcome(observed=(), failed=False, seed=0):
+    return RunOutcome(observed=frozenset(observed), failed=failed, seed=seed)
+
+
+class TestOutcomeCache:
+    def test_store_and_peek(self):
+        cache = OutcomeCache()
+        request = _request({"P1"})
+        assert cache.peek(request) is None
+        cache.store(request, _outcome({"P2"}, failed=True))
+        assert request in cache
+        assert cache.peek(request).failed
+        assert len(cache) == 1
+
+    def test_key_includes_workload_and_seed(self):
+        cache = OutcomeCache()
+        cache.store(_request({"P1"}, seed=0, workload="a"), _outcome())
+        assert cache.peek(_request({"P1"}, seed=1, workload="a")) is None
+        assert cache.peek(_request({"P1"}, seed=0, workload="b")) is None
+
+    def test_hit_miss_accounting(self):
+        cache = OutcomeCache()
+        cache.record_miss()
+        cache.record_hit()
+        cache.record_hit()
+        assert (cache.hits, cache.misses, cache.lookups) == (2, 1, 3)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_persistence_round_trip(self, tmp_path):
+        path = str(tmp_path / "outcomes.json")
+        cache = OutcomeCache()
+        request = _request({"P1", "P2"}, seed=7, workload="npgsql@50000")
+        outcome = _outcome({"P3", "F"}, failed=True, seed=7)
+        cache.store(request, outcome)
+        cache.save(path)
+
+        reloaded = OutcomeCache(path=path)
+        assert len(reloaded) == 1
+        assert reloaded.peek(request) == outcome
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "entries": []}')
+        with pytest.raises(ValueError, match="version"):
+            OutcomeCache(path=str(path))
+
+    def test_load_rejects_non_json_and_malformed_entries(self, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json {{{")
+        with pytest.raises(ValueError, match="not an outcome-cache"):
+            OutcomeCache(path=str(garbage))
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text('{"version": 1, "entries": [{}]}')
+        with pytest.raises(ValueError, match="malformed cache entry #0"):
+            OutcomeCache(path=str(truncated))
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError, match="path"):
+            OutcomeCache().save()
+
+
+# ---------------------------------------------------------------------------
+# Scheduler semantics
+# ---------------------------------------------------------------------------
+
+
+class TestScheduler:
+    def _run_fn(self, fail_seeds, counter):
+        def run(request):
+            counter.append(request.seed)
+            return _outcome(
+                failed=request.seed in fail_seeds, seed=request.seed
+            )
+
+        return run
+
+    def test_early_stop_truncates_at_first_failure(self):
+        engine = ExecutionEngine()
+        executed = []
+        outcomes = engine.run_group(
+            [_request({"P"}, seed=s) for s in range(10)],
+            self._run_fn({3}, executed),
+        )
+        assert [o.seed for o in outcomes] == [0, 1, 2, 3]
+        assert outcomes[-1].failed
+        assert executed == [0, 1, 2, 3]  # serial: no speculation
+
+    def test_parallel_wave_speculation_is_cached_not_returned(self):
+        engine = ExecutionEngine(ThreadPoolBackend(4))
+        executed = []
+        outcomes = engine.run_group(
+            [_request({"P"}, seed=s) for s in range(10)],
+            self._run_fn({1}, executed),
+        )
+        # Returned prefix is the serial walk, truncated at seed 1 ...
+        assert [o.seed for o in outcomes] == [0, 1]
+        # ... but the whole first wave ran and was memoized.
+        assert sorted(executed) == [0, 1, 2, 3]
+        assert engine.cache.peek(_request({"P"}, seed=3)) is not None
+        assert engine.stats.executed == 4
+
+    def test_repeat_group_served_from_cache(self):
+        engine = ExecutionEngine()
+        requests = [_request({"P"}, seed=s) for s in range(4)]
+        executed = []
+        first = engine.run_group(requests, self._run_fn(set(), executed))
+        second = engine.run_group(requests, self._run_fn(set(), executed))
+        assert first == second
+        assert len(executed) == 4  # second round all cache hits
+        assert engine.stats.executed == 4
+        assert engine.stats.cached == 4
+        assert engine.cache.hits == 4
+
+    @pytest.mark.parametrize("factory", ALL_BACKENDS)
+    def test_independent_groups_match_sequential(self, factory):
+        fail = {2}
+
+        def run(request):
+            return _outcome(failed=request.seed in fail, seed=request.seed)
+
+        groups = [
+            [_request({pid}, seed=s) for s in range(5)]
+            for pid in ("A", "B", "C", "D", "E")
+        ]
+        serial = ExecutionEngine()
+        expected = [list(serial.run_group(g, run)) for g in groups]
+        engine = ExecutionEngine(factory())
+        try:
+            got = engine.run_independent_groups(groups, run)
+        finally:
+            engine.close()
+        assert [list(g) for g in got] == expected
+        # Early stop applied inside every group: seeds 0..2 each.
+        assert all(len(g) == 3 for g in got)
+
+    def test_independent_groups_resolve_from_cache(self):
+        def run(request):
+            return _outcome(seed=request.seed)
+
+        groups = [[_request({pid}, seed=0)] for pid in "ABC"]
+        engine = ExecutionEngine()
+        engine.run_independent_groups(groups, run)
+        assert engine.stats.executed == 3
+        engine.run_independent_groups(groups, run)
+        assert engine.stats.executed == 3
+        assert engine.stats.cached == 3
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+class TestExecStats:
+    def test_report_contents(self):
+        stats = ExecStats(executed=3, cached=1, groups=2, batches=3)
+        stats.note_round("giwp")
+        stats.note_round("giwp")
+        stats.note_round("branch")
+        text = stats.report()
+        assert "3 executed + 1 cached" in text
+        assert "25% hit rate" in text
+        assert "branch=1" in text and "giwp=2" in text
+
+    def test_speedup_is_serial_equivalent_over_wall(self):
+        stats = ExecStats(wall_time=2.0, run_time=6.0)
+        assert stats.speedup == pytest.approx(3.0)
+        assert ExecStats().speedup == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Backend parity on real discovery
+# ---------------------------------------------------------------------------
+
+
+def _oracle_discovery(app, engine, approach=Approach.AID):
+    return discover(
+        approach, app.dag, app.runner(engine=engine), rng=random.Random(11)
+    )
+
+
+def _result_fingerprint(result):
+    return (
+        result.causal_path,
+        result.spurious,
+        result.budget.rounds,
+        result.budget.executions,
+        result.budget.history,
+        [(r.intervened, r.stopped, r.pruned_by_observation) for r in result.rounds],
+    )
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("approach", list(Approach))
+    def test_oracle_parity_across_backends(self, approach):
+        app = generate_app(424242, spec_for_maxt(12))
+        baseline = _result_fingerprint(
+            _oracle_discovery(app, ExecutionEngine(), approach)
+        )
+        for factory in (lambda: ThreadPoolBackend(4), lambda: ProcessPoolBackend(4)):
+            engine = ExecutionEngine(factory())
+            try:
+                got = _result_fingerprint(
+                    _oracle_discovery(app, engine, approach)
+                )
+            finally:
+                engine.close()
+            assert got == baseline
+
+    def test_simulation_parity_across_backends(self, racy_session):
+        dag = racy_session.build_dag()
+        base_runner = racy_session.make_runner()
+        baseline = _result_fingerprint(
+            causal_path_discovery(dag, base_runner, rng=random.Random(0))
+        )
+        for factory in (lambda: ThreadPoolBackend(4), lambda: ProcessPoolBackend(4)):
+            engine = ExecutionEngine(factory())
+            runner = SimulationRunner(
+                simulator=base_runner.simulator,
+                suite=base_runner.suite,
+                failure_pid=base_runner.failure_pid,
+                seeds=base_runner.seeds,
+                engine=engine,
+            )
+            try:
+                got = _result_fingerprint(
+                    causal_path_discovery(dag, runner, rng=random.Random(0))
+                )
+            finally:
+                engine.close()
+            assert got == baseline
+
+    def test_linear_batch_matches_serial_probes(self, racy_session):
+        dag = racy_session.build_dag()
+        baseline = linear_discovery(
+            dag, racy_session.make_runner(), rng=random.Random(3)
+        )
+        engine = ExecutionEngine(ThreadPoolBackend(4))
+        base_runner = racy_session.make_runner()
+        runner = SimulationRunner(
+            simulator=base_runner.simulator,
+            suite=base_runner.suite,
+            failure_pid=base_runner.failure_pid,
+            seeds=base_runner.seeds,
+            engine=engine,
+        )
+        try:
+            batched = linear_discovery(dag, runner, rng=random.Random(3))
+        finally:
+            engine.close()
+        assert _result_fingerprint(batched) == _result_fingerprint(baseline)
+
+
+# ---------------------------------------------------------------------------
+# Warm-cache replay
+# ---------------------------------------------------------------------------
+
+
+class TestWarmReplay:
+    def test_same_seed_different_spec_do_not_collide(self):
+        # Same generation seed, different spec => different ground truth;
+        # a shared engine must keep their cache namespaces apart.
+        small = generate_app(5, spec_for_maxt(2))
+        large = generate_app(5, spec_for_maxt(40))
+        assert small.dag.predicates != large.dag.predicates
+        engine = ExecutionEngine()
+        assert (
+            small.runner(engine=engine).workload
+            != large.runner(engine=engine).workload
+        )
+
+    def test_custom_extractors_change_session_cache_namespace(
+        self, racy_program
+    ):
+        from repro.core.extraction import default_extractors
+        from repro.harness.session import AIDSession, SessionConfig
+
+        plain = AIDSession(racy_program, SessionConfig())
+        custom = AIDSession(
+            racy_program,
+            SessionConfig(extractors=tuple(default_extractors()[:2])),
+        )
+        assert plain._workload_key() != custom._workload_key()
+
+    def test_warm_engine_executes_nothing(self):
+        app = generate_app(9001, spec_for_maxt(10))
+        engine = ExecutionEngine()
+        cold = _oracle_discovery(app, engine)
+        executed_cold = engine.stats.executed
+        assert executed_cold > 0
+        warm = _oracle_discovery(app, engine)
+        assert engine.stats.executed == executed_cold
+        assert _result_fingerprint(warm) == _result_fingerprint(cold)
+
+    def test_persisted_cache_replays_simulation(self, tmp_path, racy_session):
+        path = str(tmp_path / "outcomes.json")
+        dag = racy_session.build_dag()
+
+        cold_engine = ExecutionEngine(cache=OutcomeCache(path=path))
+        base_runner = racy_session.make_runner()
+        runner = SimulationRunner(
+            simulator=base_runner.simulator,
+            suite=base_runner.suite,
+            failure_pid=base_runner.failure_pid,
+            seeds=base_runner.seeds,
+            engine=cold_engine,
+        )
+        cold = causal_path_discovery(dag, runner, rng=random.Random(0))
+        assert cold_engine.stats.executed > 0
+        assert cold_engine.flush() == path
+
+        warm_engine = ExecutionEngine(cache=OutcomeCache(path=path))
+        warm_runner = SimulationRunner(
+            simulator=base_runner.simulator,
+            suite=base_runner.suite,
+            failure_pid=base_runner.failure_pid,
+            seeds=base_runner.seeds,
+            engine=warm_engine,
+        )
+        warm = causal_path_discovery(dag, warm_runner, rng=random.Random(0))
+        assert warm_engine.stats.executed == 0
+        assert warm_engine.stats.cached == warm_engine.stats.total_runs > 0
+        assert _result_fingerprint(warm) == _result_fingerprint(cold)
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+
+class TestCliFlags:
+    def test_figure8_cache_warm_run(self, tmp_path, capsys):
+        cache = str(tmp_path / "f8.json")
+        argv = ["figure8", "--apps", "2", "--cache", cache]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "exec stats" in cold and "outcome cache" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 executed" in warm
+        assert "100% hit rate" in warm
+
+    def test_figure8_parallel_matches_serial_table(self, capsys):
+        assert main(["figure8", "--apps", "2"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["figure8", "--apps", "2", "--jobs", "2", "--backend", "process"]) == 0
+        parallel = capsys.readouterr().out
+
+        def table(text):
+            return [
+                line for line in text.splitlines()
+                if line and not line.startswith(("exec stats", "  ", "outcome"))
+            ]
+
+        assert table(serial) == table(parallel)
+
+    def test_corrupt_cache_file_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json {{{")
+        with pytest.raises(SystemExit, match="--cache.*not an outcome-cache"):
+            main(["figure8", "--apps", "2", "--cache", str(bad)])
+
+    def test_debug_accepts_engine_flags(self, capsys):
+        assert main(
+            ["debug", "network", "--runs", "30", "--jobs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "root cause" in out
+        assert "exec stats" in out

@@ -123,7 +123,7 @@ class TestExperimentDrivers:
         # Use the cached sessions via a single fresh row to keep it fast.
         from repro.harness.experiments import CaseStudyResult
 
-        from .conftest import case_study_session
+        from conftest import case_study_session
 
         session = case_study_session("network")
         workload = load_workload("network")

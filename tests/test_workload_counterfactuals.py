@@ -19,7 +19,7 @@ from repro.core import Approach
 from repro.sim import Simulator
 from repro.workloads.common import REGISTRY
 
-from .conftest import case_study_session
+from conftest import case_study_session
 
 
 @pytest.fixture(params=sorted(REGISTRY.names()))

@@ -19,7 +19,7 @@ import pytest
 from repro.core import Approach
 from repro.workloads.common import REGISTRY
 
-from .conftest import case_study_session
+from conftest import case_study_session
 
 #: Allowed deviation of measured SD-predicate counts from the paper.
 SD_COUNT_TOLERANCE = 2

@@ -1,0 +1,123 @@
+"""Corpus throughput: cold ingest+analyze vs. warm re-analysis.
+
+What the tentpole promises, measured:
+
+* **cold** — starting from an empty directory, ingest a labeled trace
+  set (content-addressed writes) and bootstrap the analysis pipeline
+  (every (predicate, trace) pair evaluated fresh);
+* **warm** — reopen the same corpus from disk and bootstrap again: all
+  evaluation answered from the persisted bitset matrix, zero fresh
+  predicate evaluations.
+
+Besides the pytest-benchmark timings (run with ``-s`` for tables), the
+module writes ``BENCH_corpus.json`` to the working directory with mean
+timings, throughput (traces/s), and the cold/warm speedup.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_corpus.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import IncrementalPipeline, TraceStore
+from repro.harness.runner import collect
+from repro.workloads.common import REGISTRY
+
+WORKLOAD = "network"
+N_PER_LABEL = 15
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def traces():
+    program = REGISTRY.build(WORKLOAD).program
+    corpus = collect(program, n_success=N_PER_LABEL, n_fail=N_PER_LABEL)
+    return program, corpus.successes + corpus.failures
+
+
+@pytest.fixture(scope="module")
+def warm_corpus(traces, tmp_path_factory):
+    """A fully-ingested, fully-analyzed corpus directory."""
+    program, all_traces = traces
+    root = tmp_path_factory.mktemp("warm") / "corpus"
+    store = TraceStore.init(root, program=program.name)
+    for trace in all_traces:
+        store.ingest(trace)
+    pipeline = IncrementalPipeline(store, program=program)
+    pipeline.bootstrap()
+    pipeline.save()
+    return program, root, len(all_traces)
+
+
+def _record(name: str, benchmark, n_traces: int) -> None:
+    mean = benchmark.stats.stats.mean
+    _RESULTS[name] = {
+        "mean_seconds": mean,
+        "rounds": benchmark.stats.stats.rounds,
+        "traces": n_traces,
+        "traces_per_second": n_traces / mean if mean else None,
+    }
+
+
+def _write_summary() -> None:
+    cold = _RESULTS.get("cold_ingest")
+    warm = _RESULTS.get("warm_reanalysis")
+    payload = {
+        "workload": WORKLOAD,
+        "traces_per_label": N_PER_LABEL,
+        "cold_ingest": cold,
+        "warm_reanalysis": warm,
+    }
+    if cold and warm and warm["mean_seconds"]:
+        payload["cold_over_warm_speedup"] = (
+            cold["mean_seconds"] / warm["mean_seconds"]
+        )
+    out = Path("BENCH_corpus.json")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwrote {out.resolve()}")
+
+
+def test_cold_ingest_and_analyze(benchmark, traces, tmp_path):
+    """Empty dir -> ingest everything -> bootstrap (all pairs fresh)."""
+    program, all_traces = traces
+
+    counter = iter(range(1_000_000))
+
+    def run():
+        root = tmp_path / f"cold-{next(counter)}"
+        store = TraceStore.init(root, program=program.name)
+        for trace in all_traces:
+            store.ingest(trace)
+        pipeline = IncrementalPipeline(store, program=program)
+        pipeline.bootstrap()
+        pipeline.save()
+        assert pipeline.matrix.pair_evaluations > 0
+        shutil.rmtree(root)
+        return pipeline
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _record("cold_ingest", benchmark, len(all_traces))
+    _write_summary()
+
+
+def test_warm_reanalysis(benchmark, warm_corpus):
+    """Reopen from disk -> bootstrap: zero fresh evaluations."""
+    program, root, n_traces = warm_corpus
+
+    def run():
+        pipeline = IncrementalPipeline(
+            TraceStore.open(root), program=program
+        )
+        pipeline.bootstrap()
+        assert pipeline.matrix.pair_evaluations == 0
+        return pipeline
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _record("warm_reanalysis", benchmark, n_traces)
+    _write_summary()

@@ -18,6 +18,9 @@ including every substrate the paper depends on:
 * ``repro.exec`` — the intervention-execution engine: pluggable
   serial/thread/process backends, outcome memoization with JSON
   persistence, and execution statistics;
+* ``repro.corpus`` — the persistent trace-corpus store:
+  content-addressed dedup, a bitset-backed predicate-evaluation memo,
+  and incremental SD + AC-DAG maintenance under log ingestion;
 * ``repro.harness`` — corpus collection, end-to-end sessions, and the
   drivers that regenerate every table and figure of the evaluation.
 
@@ -52,6 +55,12 @@ from .core import (
     discover,
     explain,
 )
+from .corpus import (
+    CorpusSession,
+    EvalMatrix,
+    IncrementalPipeline,
+    TraceStore,
+)
 from .harness import (
     AIDSession,
     SessionConfig,
@@ -70,8 +79,12 @@ __all__ = [
     "ACDag",
     "AIDSession",
     "Approach",
+    "CorpusSession",
     "DiscoveryResult",
+    "EvalMatrix",
     "ExecStats",
+    "IncrementalPipeline",
+    "TraceStore",
     "ExecutionEngine",
     "Explanation",
     "GIWP",

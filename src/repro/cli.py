@@ -8,8 +8,14 @@ Commands
     Run the full AID pipeline on a case study and print the explanation.
 ``figure7`` / ``figure8`` / ``figure6`` / ``example3``
     Regenerate the paper's evaluation artifacts as text tables.
-``trace <workload> --seed N [--out FILE]``
+``trace <workload> --seed N [-o FILE]``
     Run one execution and dump its trace as JSON (Figure 9(b) schema).
+``corpus init|ingest|stats|analyze``
+    Manage a persistent trace-corpus store: content-addressed ingestion
+    (dedup by trace fingerprint), corpus statistics, and the offline
+    analysis phase with memoized predicate evaluation.  ``debug
+    --corpus DIR`` then debugs from the stored logs instead of
+    re-running the collection sweep.
 
 The intervention-heavy commands (``debug``, ``figure7``, ``figure8``)
 accept execution-engine flags: ``--jobs N`` / ``--backend
@@ -21,11 +27,13 @@ replays from memoization instead of re-executing.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
 
 from .core.variants import Approach
+from .corpus import CorpusError, CorpusSession, IncrementalPipeline, TraceStore
 from .exec import ExecutionEngine, OutcomeCache, make_backend
 from .harness.experiments import (
     example3_report,
@@ -114,8 +122,23 @@ def _cmd_debug(args: argparse.Namespace) -> int:
             n_success=args.runs, n_fail=args.runs, rng_seed=args.seed,
             engine=engine,
         )
-        session = AIDSession(workload.program, config)
+        if args.corpus is not None:
+            try:
+                store = TraceStore.open(args.corpus)
+                session = CorpusSession(workload.program, store, config)
+            except CorpusError as exc:
+                raise SystemExit(f"repro: --corpus: {exc}") from exc
+        else:
+            session = AIDSession(workload.program, config)
         report = session.run(Approach(args.approach))
+        if args.corpus is not None:
+            session.save()
+            print(
+                f"corpus   : {len(store)} stored traces "
+                f"({store.n_pass} pass / {store.n_fail} fail); "
+                f"{session.matrix.pair_evaluations} fresh predicate "
+                f"evaluations, {session.matrix.pair_hits} memoized"
+            )
         print(f"workload : {workload.name} ({workload.paper.github_issue})")
         print(f"approach : {report.approach.value}")
         print(
@@ -186,6 +209,163 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_for_program(program_name: Optional[str]):
+    """The bundled workload whose program has this name, or ``None``."""
+    if program_name is None:
+        return None
+    for name in REGISTRY.names():
+        workload = REGISTRY.build(name)
+        if workload.program.name == program_name:
+            return workload
+    return None
+
+
+def _build_pipeline(args: argparse.Namespace) -> IncrementalPipeline:
+    """Open the store and wire the analysis pipeline, with the live
+    program attached when the manifest names a bundled workload (needed
+    for the Section 3.3 safe-intervention filter)."""
+    store = TraceStore.open(args.dir)
+    workload = _workload_for_program(store.program)
+    return IncrementalPipeline(
+        store, program=workload.program if workload else None
+    )
+
+
+def _cmd_corpus_init(args: argparse.Namespace) -> int:
+    program = None
+    if args.workload is not None:
+        program = REGISTRY.build(args.workload).program.name
+    store = TraceStore.init(args.dir, program=program)
+    pinned = f" (pinned to {store.program})" if store.program else ""
+    print(f"initialized empty corpus at {args.dir}{pinned}")
+    return 0
+
+
+def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
+    store = TraceStore.open(args.dir)
+    added = duplicates = 0
+    try:
+        for path in args.files:
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except OSError as exc:
+                raise SystemExit(f"repro: corpus: cannot read {path}: {exc}")
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"repro: corpus: {path} is not a trace file: {exc}"
+                )
+            fp, was_added = store.ingest_payload(payload)
+            tag = "added" if was_added else "duplicate"
+            print(f"  {fp}  {tag}  {path}")
+            added += was_added
+            duplicates += not was_added
+        if args.runs:
+            from .harness.runner import collect
+
+            if store.program is None:
+                raise SystemExit(
+                    "repro: corpus ingest --runs needs a program: ingest a "
+                    "trace file first or init with --workload"
+                )
+            workload = _workload_for_program(store.program)
+            if workload is None:
+                raise SystemExit(
+                    f"repro: corpus program {store.program!r} is not a "
+                    "bundled workload; ingest trace files instead"
+                )
+            start_seed = args.start_seed
+            if start_seed is None:
+                # Sweep past what the corpus already holds: the simulator
+                # is deterministic per seed, so restarting at 0 would
+                # only re-collect known traces.
+                start_seed = max(
+                    (e.seed for e in store.entries.values()), default=-1
+                ) + 1
+            corpus = collect(
+                workload.program,
+                n_success=args.runs,
+                n_fail=args.runs,
+                start_seed=start_seed,
+            )
+            for trace in corpus.successes + corpus.failures:
+                _, was_added = store.ingest(trace)
+                added += was_added
+                duplicates += not was_added
+    finally:
+        # A mid-batch failure must not orphan the traces already added.
+        store.save()
+    print(
+        f"ingested {added} new, {duplicates} duplicate; corpus now "
+        f"{store.n_pass} pass / {store.n_fail} fail"
+    )
+    return 0
+
+
+def _cmd_corpus_stats(args: argparse.Namespace) -> int:
+    from .corpus import EvalMatrix
+
+    store = TraceStore.open(args.dir)
+    print(f"corpus   : {args.dir}")
+    print(f"program  : {store.program or '(unpinned)'}")
+    print(f"traces   : {len(store)} ({store.n_pass} pass / {store.n_fail} fail)")
+    for signature, count in sorted(store.signature_counts().items()):
+        print(f"  failure signature {signature}: {count}")
+    matrix = EvalMatrix(store.matrix_path)
+    if matrix.traces:
+        print(
+            f"eval matrix: {matrix.n_pids} predicates x "
+            f"{len(matrix.traces)} traces, {matrix.n_pairs} pairs "
+            f"memoized ({matrix.coverage():.0%} of the matrix)"
+        )
+    else:
+        print("eval matrix: empty (run `repro corpus analyze`)")
+    return 0
+
+
+def _cmd_corpus_analyze(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args)
+    pipeline.bootstrap()
+    pipeline.save()
+    matrix = pipeline.matrix
+    print(
+        f"analyzed {len(pipeline.logs)} stored logs "
+        f"(failure signature {pipeline.signature})"
+    )
+    print(
+        f"predicates: {len(pipeline.suite)} extracted, "
+        f"{len(pipeline.fully)} fully discriminative"
+    )
+    for pid in pipeline.fully:
+        print(f"  {pid}: {pipeline.dag.describe(pid)}")
+    print(
+        f"AC-DAG   : {len(pipeline.dag)} nodes, "
+        f"{pipeline.dag.graph.number_of_edges()} edges "
+        f"(over {pipeline.dag.n_failed_logs} failed logs)"
+    )
+    print(
+        f"evaluation: {matrix.pair_evaluations} fresh, "
+        f"{matrix.pair_hits} answered from the matrix"
+    )
+    if args.dot:
+        print()
+        print(pipeline.dag.to_dot())
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    handlers = {
+        "init": _cmd_corpus_init,
+        "ingest": _cmd_corpus_ingest,
+        "stats": _cmd_corpus_stats,
+        "analyze": _cmd_corpus_analyze,
+    }
+    try:
+        return handlers[args.corpus_command](args)
+    except CorpusError as exc:
+        raise SystemExit(f"repro: corpus: {exc}") from exc
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -207,6 +387,14 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--seed", type=int, default=0)
     debug.add_argument("--dot", action="store_true",
                        help="also print the AC-DAG in Graphviz format")
+    debug.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="debug from the stored logs in a corpus directory instead "
+        "of re-running the collection sweep (predicate evaluation is "
+        "memoized across invocations)",
+    )
     _add_engine_flags(debug)
 
     fig7 = sub.add_parser("figure7", help="regenerate the case-study table")
@@ -230,7 +418,54 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser("trace", help="dump one execution trace as JSON")
     trace.add_argument("workload", choices=REGISTRY.names())
     trace.add_argument("--seed", type=int, default=0)
-    trace.add_argument("--out", default=None)
+    trace.add_argument(
+        "-o", "--out", default=None, metavar="FILE",
+        help="write the trace JSON to FILE instead of stdout "
+        "(handy for building corpora: repro corpus ingest DIR FILE)",
+    )
+
+    corpus = sub.add_parser(
+        "corpus", help="manage a persistent trace-corpus store"
+    )
+    csub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    cinit = csub.add_parser("init", help="create an empty corpus directory")
+    cinit.add_argument("dir")
+    cinit.add_argument(
+        "--workload", default=None, choices=REGISTRY.names(),
+        help="pin the corpus to one workload's program up front",
+    )
+
+    cingest = csub.add_parser(
+        "ingest",
+        help="add trace JSON files (content-addressed: duplicates are "
+        "stored once)",
+    )
+    cingest.add_argument("dir")
+    cingest.add_argument("files", nargs="*", metavar="FILE",
+                         help="trace JSON files (from `repro trace -o`)")
+    cingest.add_argument(
+        "--runs", type=int, default=0, metavar="N",
+        help="also run the pinned workload until N successful and N "
+        "failed fresh traces are collected and ingested",
+    )
+    cingest.add_argument(
+        "--start-seed", type=int, default=None,
+        help="first seed for --runs (default: continue past the highest "
+        "seed already in the corpus)",
+    )
+
+    cstats = csub.add_parser("stats", help="corpus and eval-matrix summary")
+    cstats.add_argument("dir")
+
+    canalyze = csub.add_parser(
+        "analyze",
+        help="offline phase over the stored logs: predicates -> SD -> "
+        "AC-DAG, with evaluation memoized in the corpus",
+    )
+    canalyze.add_argument("dir")
+    canalyze.add_argument("--dot", action="store_true",
+                          help="also print the AC-DAG in Graphviz format")
 
     return parser
 
@@ -243,6 +478,7 @@ _COMMANDS = {
     "figure6": _cmd_figure6,
     "example3": _cmd_example3,
     "trace": _cmd_trace,
+    "corpus": _cmd_corpus,
 }
 
 

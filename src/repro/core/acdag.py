@@ -69,6 +69,7 @@ class ACDag:
         failure: str,
         defs: Optional[dict[str, PredicateDef]] = None,
         discarded: Optional[dict[str, str]] = None,
+        n_failed_logs: int = 0,
     ) -> None:
         if failure not in graph:
             raise GraphInvariantError(f"failure predicate {failure!r} not in graph")
@@ -79,6 +80,9 @@ class ACDag:
         self.defs = defs or {}
         #: pid -> reason, for predicates dropped during construction
         self.discarded = discarded or {}
+        #: how many failed logs support this DAG; every edge's ``support``
+        #: attribute equals this (edge = precedes in *every* failed log)
+        self.n_failed_logs = n_failed_logs
 
     # -- construction ------------------------------------------------------
 
@@ -135,6 +139,7 @@ class ACDag:
                 f"failure predicate {failure!r} unobserved in some failed log"
             )
 
+        support = len(failed_logs)
         graph = nx.DiGraph()
         graph.add_nodes_from(anchors)
         nodes = sorted(set(anchors) - {failure})
@@ -142,9 +147,9 @@ class ACDag:
             for p2 in nodes[i + 1 :]:
                 s1, s2 = anchors[p1], anchors[p2]
                 if all(a < b for a, b in zip(s1, s2)):
-                    graph.add_edge(p1, p2)
+                    graph.add_edge(p1, p2, support=support)
                 elif all(b < a for a, b in zip(s1, s2)):
-                    graph.add_edge(p2, p1)
+                    graph.add_edge(p2, p1, support=support)
         # F is the terminal event of a failed execution: predicates that
         # never anchor after it precede it (ties allowed — the crash is
         # recorded at the instant its method dies).  Predicates anchored
@@ -153,9 +158,9 @@ class ACDag:
         for pid in nodes:
             series = anchors[pid]
             if all(a <= f for a, f in zip(series, f_series)):
-                graph.add_edge(pid, failure)
+                graph.add_edge(pid, failure, support=support)
             elif all(f < a for a, f in zip(series, f_series)):
-                graph.add_edge(failure, pid)
+                graph.add_edge(failure, pid, support=support)
 
         # Keep only predicates that may cause F: its ancestors.
         keep = nx.ancestors(graph, failure) | {failure}
@@ -164,7 +169,91 @@ class ACDag:
                 discarded[pid] = "no temporal path to the failure predicate"
                 graph.remove_node(pid)
 
-        return cls(graph=graph, failure=failure, defs=dict(defs), discarded=discarded)
+        return cls(
+            graph=graph,
+            failure=failure,
+            defs=dict(defs),
+            discarded=discarded,
+            n_failed_logs=support,
+        )
+
+    # -- incremental maintenance (corpus ingestion) -------------------------
+    #
+    # The edge relation is "P1 precedes P2 in every failed log", so a new
+    # failed log can only *remove* edges (an edge that held in all n logs
+    # either also holds in log n+1 — its support counter advances to n+1
+    # — or it dies).  Node-wise, the candidate set is the
+    # fully-discriminative set, which likewise only shrinks under
+    # insertions (see IncrementalDebugger).  Both facts together make the
+    # AC-DAG maintainable without a rebuild; tests assert the patched
+    # graph equals `ACDag.build` over the whole log history.
+
+    def update_failed_log(
+        self, log: PredicateLog, policy: Optional[PrecedencePolicy] = None
+    ) -> set[str]:
+        """Patch the DAG under one newly-ingested failed log.
+
+        Drops nodes the log does not observe (their recall just fell
+        below 1), drops edges whose precedence the log contradicts,
+        advances surviving edges' support counters, and re-applies the
+        ancestors-of-F filter.  Returns every pid removed.
+        """
+        policy = policy or default_policy()
+        removed: set[str] = set()
+        anchors: dict[str, float] = {}
+        for pid in sorted(self.graph.nodes):
+            obs = log.time_of(pid)
+            if obs is None:
+                if pid == self.failure:
+                    raise GraphInvariantError(
+                        f"failure predicate {self.failure!r} unobserved in "
+                        "an ingested failed log (wrong failure signature?)"
+                    )
+                removed.add(pid)
+                self.discarded[pid] = "not observed in every failed log"
+                self.graph.remove_node(pid)
+            else:
+                anchors[pid] = policy.anchor(self.defs[pid], obs)
+        for a, b, data in list(self.graph.edges(data=True)):
+            # Ties with F are allowed (the crash is recorded at the
+            # instant its method dies); all other precedence is strict.
+            holds = (
+                anchors[a] <= anchors[b]
+                if b == self.failure
+                else anchors[a] < anchors[b]
+            )
+            if holds:
+                data["support"] = data.get("support", self.n_failed_logs) + 1
+            else:
+                self.graph.remove_edge(a, b)
+        self.n_failed_logs += 1
+        removed |= self._prune_non_ancestors()
+        return removed
+
+    def restrict_to(self, pids: Iterable[str]) -> set[str]:
+        """Drop nodes outside ``pids`` (F is always kept), then re-apply
+        the ancestors-of-F filter.  Used when a newly-ingested
+        *successful* log breaks some predicates' precision.  Returns
+        every pid removed."""
+        keep = set(pids) | {self.failure}
+        removed = set(self.graph.nodes) - keep
+        for pid in removed:
+            self.discarded[pid] = "no longer fully discriminative"
+        self.graph.remove_nodes_from(removed)
+        return removed | self._prune_non_ancestors()
+
+    def _prune_non_ancestors(self) -> set[str]:
+        """Re-apply the build-time rule: only ancestors of F may stay."""
+        keep = nx.ancestors(self.graph, self.failure) | {self.failure}
+        doomed = set(self.graph.nodes) - keep
+        for pid in doomed:
+            self.discarded[pid] = "no temporal path to the failure predicate"
+        self.graph.remove_nodes_from(doomed)
+        return doomed
+
+    def structure(self) -> tuple[frozenset, frozenset]:
+        """(nodes, edges) — the comparable shape, for equality asserts."""
+        return frozenset(self.graph.nodes), frozenset(self.graph.edges)
 
     # -- basic queries -----------------------------------------------------
 
@@ -254,6 +343,7 @@ class ACDag:
             failure=self.failure,
             defs=dict(self.defs),
             discarded=dict(self.discarded),
+            n_failed_logs=self.n_failed_logs,
         )
 
     # -- presentation --------------------------------------------------------

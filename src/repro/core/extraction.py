@@ -421,6 +421,18 @@ class PredicateSuite:
     def __len__(self) -> int:
         return len(self.defs)
 
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of the frozen suite: digest over every
+        predicate's full definition digest (see
+        :meth:`~repro.core.predicates.PredicateDef.definition_digest`).
+        Persistent evaluation memos use this to notice suite drift."""
+        from ..sim.serialize import stable_digest
+
+        return stable_digest(
+            {pid: p.definition_digest() for pid, p in self.defs.items()}
+        )
+
     def __contains__(self, pid: str) -> bool:
         return pid in self.defs
 

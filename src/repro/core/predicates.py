@@ -96,6 +96,35 @@ class PredicateDef:
         """
         return True
 
+    def definition_digest(self) -> str:
+        """Stable fingerprint of the *full* definition, not just the pid.
+
+        Pids deliberately omit derived parameters (``slow[key]`` does not
+        embed its threshold), so a memo keyed by pid alone would go stale
+        when a growing corpus shifts an envelope.  The digest covers the
+        class and every dataclass field, letting persistent caches detect
+        that a same-pid predicate changed meaning.
+        """
+        import dataclasses
+
+        from ..sim.serialize import stable_digest
+
+        def value_of(value: object) -> object:
+            if isinstance(value, PredicateDef):
+                return value.definition_digest()  # compound parts, recursively
+            if isinstance(value, (tuple, list)):
+                return [value_of(v) for v in value]
+            return repr(value)
+
+        if dataclasses.is_dataclass(self):
+            fields = {
+                f.name: value_of(getattr(self, f.name))
+                for f in dataclasses.fields(self)
+            }
+        else:  # pragma: no cover - all bundled predicates are dataclasses
+            fields = {"repr": repr(self)}
+        return stable_digest({"type": type(self).__name__, "fields": fields})
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.pid}>"
 

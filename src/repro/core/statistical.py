@@ -140,6 +140,74 @@ class StatisticalDebugger:
         return sorted(self.stats().values(), key=lambda s: (-s.f1, s.pid))
 
 
+@dataclass
+class IncrementalDebugger:
+    """SD statistics maintained under log insertions, no rescans.
+
+    The corpus pipeline's view-maintenance core (in the spirit of
+    Berkholz et al.'s FO+MOD incremental evaluation): instead of
+    recomputing precision/recall over the whole corpus per
+    :meth:`StatisticalDebugger.stats`, keep running counters and update
+    them in O(|observations|) per inserted log.  Outputs are asserted
+    equal to the batch debugger in the test suite.
+
+    Key monotonicity fact the AC-DAG maintenance relies on: the
+    fully-discriminative set only *shrinks* under insertions.  A pid with
+    ``true_in_success > 0`` can never regain precision 1, and a pid that
+    missed one failed log can never regain recall 1.
+    """
+
+    n_failed: int = 0
+    n_success: int = 0
+    #: pid -> [true_in_failed, true_in_success]
+    counts: dict[str, list[int]] = field(default_factory=dict)
+
+    def add(self, log: PredicateLog) -> None:
+        self.add_observed(log.observations, failed=log.failed)
+
+    def extend(self, logs: Iterable[PredicateLog]) -> None:
+        for log in logs:
+            self.add(log)
+
+    def add_observed(self, pids: Iterable[str], failed: bool) -> None:
+        """Insert one execution given just its observed-pid set."""
+        idx = 0 if failed else 1
+        if failed:
+            self.n_failed += 1
+        else:
+            self.n_success += 1
+        for pid in pids:
+            self.counts.setdefault(pid, [0, 0])[idx] += 1
+
+    @property
+    def n_logs(self) -> int:
+        return self.n_failed + self.n_success
+
+    def all_pids(self) -> list[str]:
+        return sorted(self.counts)
+
+    def stats(self) -> dict[str, PredicateStats]:
+        """Per-predicate statistics, built straight from the counters."""
+        return {
+            pid: PredicateStats(
+                pid=pid,
+                true_in_failed=in_failed,
+                true_in_success=in_success,
+                n_failed=self.n_failed,
+                n_success=self.n_success,
+            )
+            for pid, (in_failed, in_success) in self.counts.items()
+        }
+
+    def fully_discriminative_pids(self) -> list[str]:
+        """Precision = recall = 1 straight off the counters."""
+        return sorted(
+            pid
+            for pid, (in_failed, in_success) in self.counts.items()
+            if in_success == 0 and in_failed == self.n_failed and self.n_failed
+        )
+
+
 def split_logs(
     logs: Iterable[PredicateLog],
 ) -> tuple[list[PredicateLog], list[PredicateLog]]:

@@ -1,0 +1,35 @@
+"""``repro.corpus`` — the persistent trace-corpus subsystem.
+
+Turns the paper's collect-once / analyze-many offline phase (Appendix A)
+into a durable service:
+
+* :mod:`~repro.corpus.store` — a content-addressed, deduplicating
+  on-disk :class:`TraceStore` with a label/seed/signature manifest;
+* :mod:`~repro.corpus.matrix` — the :class:`EvalMatrix`, a
+  bitset-backed predicates × traces memo guaranteeing each pair is
+  evaluated exactly once across the corpus's lifetime;
+* :mod:`~repro.corpus.pipeline` — the :class:`IncrementalPipeline`
+  maintaining SD counts, the fully-discriminative set, and the AC-DAG
+  under log insertions (with a :meth:`~IncrementalPipeline.rebuild`
+  fallback the patched state is asserted equal to);
+* :mod:`~repro.corpus.session` — :class:`CorpusSession`, an AID session
+  that debugs from stored logs instead of re-running the workload.
+
+CLI: ``repro corpus init|ingest|stats|analyze`` and
+``repro debug <workload> --corpus DIR``.
+"""
+
+from .matrix import EvalMatrix
+from .pipeline import IncrementalPipeline, IngestResult
+from .session import CorpusSession
+from .store import CorpusError, TraceEntry, TraceStore
+
+__all__ = [
+    "CorpusError",
+    "CorpusSession",
+    "EvalMatrix",
+    "IncrementalPipeline",
+    "IngestResult",
+    "TraceEntry",
+    "TraceStore",
+]

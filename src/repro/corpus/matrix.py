@@ -1,0 +1,223 @@
+"""The predicates × traces evaluation matrix, bitset-backed and persisted.
+
+Predicate evaluation is the corpus pipeline's hot loop: every analysis
+needs ``suite.evaluate(trace)`` for every stored trace, and extractors
+re-propose largely the same predicates run after run.  The matrix
+guarantees each (predicate, trace) pair is evaluated **exactly once**
+across the corpus's lifetime:
+
+* columns are traces (keyed by content fingerprint), rows are predicates
+  (keyed by pid);
+* per pid, two Python-int bitsets over the columns — ``evaluated`` (the
+  pair has been decided) and ``observed`` (the predicate held) — give
+  O(1) memo checks and popcount-cheap precision/recall counting;
+* observation windows (what the AC-DAG anchors on) are kept in a side
+  table only for observed pairs;
+* the whole structure round-trips through ``evalmatrix.json`` next to
+  the trace store, so a warm restart re-evaluates nothing.
+
+Pids do not encode every predicate parameter (a ``slow[...]`` threshold
+moves as the corpus grows), so each row also records the predicate's
+full :meth:`~repro.core.predicates.PredicateDef.definition_digest`; a
+row whose definition drifted is dropped and re-evaluated rather than
+served stale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from ..core.extraction import PredicateSuite
+from ..core.predicates import Observation
+from ..core.statistical import PredicateLog
+
+MATRIX_VERSION = 1
+
+
+def _obs_to_list(obs: Observation) -> list:
+    return [obs.start, obs.end, obs.start_lamport, obs.end_lamport]
+
+
+def _obs_from_list(raw: list) -> Observation:
+    return Observation(
+        start=raw[0], end=raw[1], start_lamport=raw[2], end_lamport=raw[3]
+    )
+
+
+class EvalMatrix:
+    """Memoized boolean matrix of predicate evaluations over a corpus."""
+
+    def __init__(self, path: Optional[str | os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        #: column order: trace fingerprints
+        self.traces: list[str] = []
+        self._column: dict[str, int] = {}
+        #: aligned with ``traces``: did that execution fail?
+        self.labels: list[bool] = []
+        #: pid -> bitset over columns (bit set = pair decided)
+        self.evaluated: dict[str, int] = {}
+        #: pid -> bitset over columns (bit set = predicate observed)
+        self.observed: dict[str, int] = {}
+        #: pid -> definition digest the row was evaluated under
+        self.digests: dict[str, str] = {}
+        #: fp -> {pid: [start, end, start_lamport, end_lamport]}
+        self.observations: dict[str, dict[str, list]] = {}
+        #: fresh predicate evaluations / memo hits, this instance
+        self.pair_evaluations = 0
+        self.pair_hits = 0
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # -- columns ---------------------------------------------------------
+
+    def column(self, fingerprint: str, failed: bool) -> int:
+        """Index of the trace's column, allocating it if new."""
+        idx = self._column.get(fingerprint)
+        if idx is None:
+            idx = len(self.traces)
+            self.traces.append(fingerprint)
+            self.labels.append(bool(failed))
+            self._column[fingerprint] = idx
+        return idx
+
+    @property
+    def failed_mask(self) -> int:
+        mask = 0
+        for idx, failed in enumerate(self.labels):
+            if failed:
+                mask |= 1 << idx
+        return mask
+
+    # -- the memoized evaluation loop ------------------------------------
+
+    def log_for(self, suite: PredicateSuite, trace) -> PredicateLog:
+        """Evaluate the suite on one trace, through the memo.
+
+        The trace must carry a ``fingerprint`` (corpus-loaded traces do;
+        for live traces compute one via
+        :func:`repro.sim.serialize.trace_fingerprint` first).  Pairs
+        already decided are answered from the bitsets; only new pairs
+        call ``PredicateDef.evaluate``.
+        """
+        fp = getattr(trace, "fingerprint", None)
+        if fp is None:
+            raise ValueError(
+                "trace has no fingerprint; corpus evaluation is memoized "
+                "by content address"
+            )
+        col = self.column(fp, trace.failed)
+        mask = 1 << col
+        observations: dict[str, Observation] = {}
+        row_obs = self.observations.get(fp)
+        for pid, pred in suite.defs.items():
+            digest = pred.definition_digest()
+            if self.digests.get(pid) != digest:
+                # New predicate, or a same-pid predicate whose parameters
+                # drifted: invalidate the whole row.
+                self._drop_row(pid)
+                self.digests[pid] = digest
+            if self.evaluated.get(pid, 0) & mask:
+                self.pair_hits += 1
+                if self.observed.get(pid, 0) & mask:
+                    observations[pid] = _obs_from_list(row_obs[pid])
+                continue
+            obs = pred.evaluate(trace)
+            self.pair_evaluations += 1
+            self.evaluated[pid] = self.evaluated.get(pid, 0) | mask
+            if obs is not None:
+                self.observed[pid] = self.observed.get(pid, 0) | mask
+                if row_obs is None:
+                    row_obs = self.observations.setdefault(fp, {})
+                row_obs[pid] = _obs_to_list(obs)
+                observations[pid] = obs
+        return PredicateLog(
+            observations=observations,
+            failed=trace.failed,
+            seed=trace.seed,
+            failure_signature=(
+                trace.failure.signature if trace.failure is not None else None
+            ),
+        )
+
+    def _drop_row(self, pid: str) -> None:
+        self.evaluated.pop(pid, None)
+        self.observed.pop(pid, None)
+        self.digests.pop(pid, None)
+        for row in self.observations.values():
+            row.pop(pid, None)
+
+    # -- bitset analytics ------------------------------------------------
+
+    def counts(self, pid: str) -> tuple[int, int]:
+        """(true_in_failed, true_in_success) for one pid, by popcount."""
+        bits = self.observed.get(pid, 0)
+        fmask = self.failed_mask
+        return (bits & fmask).bit_count(), (bits & ~fmask).bit_count()
+
+    @property
+    def n_pairs(self) -> int:
+        """How many (predicate, trace) pairs are memoized."""
+        return sum(bits.bit_count() for bits in self.evaluated.values())
+
+    @property
+    def n_pids(self) -> int:
+        return len(self.evaluated)
+
+    def coverage(self) -> float:
+        """Fraction of the full matrix already decided."""
+        total = len(self.traces) * len(self.evaluated)
+        return self.n_pairs / total if total else 0.0
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: Optional[str | os.PathLike] = None) -> Path:
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise ValueError("EvalMatrix has no path to save to")
+        payload = {
+            "version": MATRIX_VERSION,
+            "traces": self.traces,
+            "labels": [1 if f else 0 for f in self.labels],
+            "evaluated": {
+                pid: format(bits, "x")
+                for pid, bits in sorted(self.evaluated.items())
+            },
+            "observed": {
+                pid: format(bits, "x")
+                for pid, bits in sorted(self.observed.items())
+            },
+            "digests": dict(sorted(self.digests.items())),
+            "observations": {
+                fp: dict(sorted(row.items()))
+                for fp, row in sorted(self.observations.items())
+                if row
+            },
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def load(self, path: str | os.PathLike) -> None:
+        payload = json.loads(Path(path).read_text())
+        version = payload.get("version")
+        if version != MATRIX_VERSION:
+            raise ValueError(
+                f"unsupported eval-matrix version {version!r} in {path}"
+            )
+        self.traces = list(payload["traces"])
+        self.labels = [bool(v) for v in payload["labels"]]
+        self._column = {fp: i for i, fp in enumerate(self.traces)}
+        self.evaluated = {
+            pid: int(bits, 16) for pid, bits in payload["evaluated"].items()
+        }
+        self.observed = {
+            pid: int(bits, 16) for pid, bits in payload["observed"].items()
+        }
+        self.digests = dict(payload["digests"])
+        self.observations = {
+            fp: dict(row) for fp, row in payload["observations"].items()
+        }

@@ -1,0 +1,212 @@
+"""Incremental analysis over a trace corpus: SD + AC-DAG under updates.
+
+This is the incremental-view-maintenance half of the corpus subsystem
+(after Berkholz et al., *Answering FO+MOD queries under updates*): the
+discriminative-predicate set and the AC-DAG are *views* over the stored
+logs, and log insertion patches them instead of recomputing.
+
+Lifecycle::
+
+    pipeline = IncrementalPipeline(store, program=workload.program)
+    pipeline.bootstrap()        # freeze suite, evaluate via the matrix
+    pipeline.ingest(new_trace)  # store + patch counts, FD set, AC-DAG
+    pipeline.rebuild()          # the from-scratch fallback (tests assert
+                                # it equals the patched state)
+
+The predicate suite is frozen at bootstrap — extractors run once over
+the then-current corpus.  Ingested logs are evaluated against the frozen
+suite (each pair exactly once, via the eval matrix) and can only
+*shrink* the fully-discriminative set and the DAG, which is what makes
+pure patching sound.  Re-discovering predicates over a grown corpus is a
+new bootstrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.acdag import ACDag
+from ..core.extraction import Extractor, PredicateSuite
+from ..core.precedence import PrecedencePolicy, default_policy
+from ..core.statistical import (
+    IncrementalDebugger,
+    PredicateLog,
+    StatisticalDebugger,
+)
+from ..sim.program import Program
+from .matrix import EvalMatrix
+from .store import CorpusError, TraceStore
+
+
+@dataclass
+class IngestResult:
+    """What one ingestion did to the corpus and its maintained views."""
+
+    fingerprint: str
+    added: bool
+    failed: bool
+    #: trace stored but excluded from analysis (off-signature failure)
+    skipped: bool = False
+    #: pids that left the fully-discriminative set / the DAG
+    removed_pids: frozenset[str] = frozenset()
+
+
+class IncrementalPipeline:
+    """Maintains suite evaluation, SD counts, and the AC-DAG over a store."""
+
+    def __init__(
+        self,
+        store: TraceStore,
+        program: Optional[Program] = None,
+        matrix: Optional[EvalMatrix] = None,
+        extractors: Optional[Sequence[Extractor]] = None,
+        policy: Optional[PrecedencePolicy] = None,
+    ) -> None:
+        self.store = store
+        self.program = program
+        self.matrix = matrix if matrix is not None else EvalMatrix(store.matrix_path)
+        self.extractors = extractors
+        self.policy = policy or default_policy()
+        # frozen at bootstrap:
+        self.suite: Optional[PredicateSuite] = None
+        self.failure_pid: Optional[str] = None
+        self.signature: Optional[str] = None
+        self.debugger = IncrementalDebugger()
+        self.logs: list[PredicateLog] = []
+        self.fully: list[str] = []
+        self.dag: Optional[ACDag] = None
+
+    @property
+    def bootstrapped(self) -> bool:
+        return self.suite is not None
+
+    # -- bootstrap -------------------------------------------------------
+
+    def bootstrap(self) -> None:
+        """Freeze the predicate suite over the current corpus and build
+        every maintained view (all evaluation goes through the matrix, so
+        a warm restart performs zero fresh evaluations)."""
+        corpus = self.store.labeled_corpus()
+        if not corpus.failures:
+            raise CorpusError("corpus has no failed traces to analyze")
+        if not corpus.successes:
+            raise CorpusError("corpus has no successful traces to analyze")
+        self.signature = corpus.dominant_failure_signature()
+        corpus = corpus.restrict_failures(self.signature)
+        self.suite = PredicateSuite.discover(
+            corpus.successes,
+            corpus.failures,
+            extractors=self.extractors,
+            program=self.program,
+        )
+        self.logs = [
+            self.matrix.log_for(self.suite, t)
+            for t in corpus.successes + corpus.failures
+        ]
+        self.debugger = IncrementalDebugger()
+        self.debugger.extend(self.logs)
+        failure_pids = [
+            pid
+            for pid in self.suite.failure_pids()
+            if any(log.observed(pid) for log in self.logs if log.failed)
+        ]
+        if not failure_pids:
+            raise CorpusError("no failure predicate was extracted")
+        self.failure_pid = failure_pids[0]
+        self.fully = self._derive_fully()
+        self.dag = ACDag.build(
+            defs=dict(self.suite.defs),
+            failed_logs=[log for log in self.logs if log.failed],
+            failure=self.failure_pid,
+            policy=self.policy,
+            candidate_pids=self.fully,
+        )
+
+    def _derive_fully(self) -> list[str]:
+        failure_pids = set(self.suite.failure_pids())
+        return [
+            pid
+            for pid in self.debugger.fully_discriminative_pids()
+            if pid not in failure_pids
+        ]
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, trace) -> IngestResult:
+        """Store one new trace and patch every maintained view.
+
+        Duplicates (same content fingerprint) change nothing.  Failed
+        traces with a different failure signature are stored but excluded
+        from this pipeline's views, exactly as
+        :meth:`~repro.harness.runner.LabeledCorpus.restrict_failures`
+        excludes them from a batch session.
+        """
+        if not self.bootstrapped:
+            raise CorpusError("bootstrap() the pipeline before ingesting")
+        fp, added = self.store.ingest(trace)
+        failed = trace.failed
+        if not added:
+            return IngestResult(fingerprint=fp, added=False, failed=failed)
+        signature = (
+            trace.failure.signature if trace.failure is not None else None
+        )
+        if failed and signature != self.signature:
+            return IngestResult(
+                fingerprint=fp, added=True, failed=True, skipped=True
+            )
+        if getattr(trace, "fingerprint", None) is None:
+            # live ExecutionTrace: attach the content address the matrix
+            # memoizes under (identical to the store's by construction)
+            trace = self.store.load(fp)
+        log = self.matrix.log_for(self.suite, trace)
+        self.logs.append(log)
+        self.debugger.add(log)
+        new_fully = self._derive_fully()
+        removed = set(self.fully) - set(new_fully)
+        self.fully = new_fully
+        if failed:
+            # Recall casualties are exactly the pids the new log does not
+            # observe; update_failed_log drops them while advancing the
+            # per-edge support counters.
+            removed |= self.dag.update_failed_log(log, policy=self.policy)
+        elif removed:
+            # A success can only break precision; edges are untouched.
+            removed |= self.dag.restrict_to(
+                set(new_fully) | {self.failure_pid}
+            )
+        return IngestResult(
+            fingerprint=fp,
+            added=True,
+            failed=failed,
+            removed_pids=frozenset(removed),
+        )
+
+    # -- the from-scratch fallback --------------------------------------
+
+    def rebuild(self) -> ACDag:
+        """Recompute the AC-DAG from the full log history with the frozen
+        suite — the ground truth the incremental patching must equal."""
+        if not self.bootstrapped:
+            raise CorpusError("bootstrap() the pipeline before rebuilding")
+        batch = StatisticalDebugger(logs=list(self.logs))
+        failure_pids = set(self.suite.failure_pids())
+        fully = [
+            pid
+            for pid in batch.fully_discriminative_pids()
+            if pid not in failure_pids
+        ]
+        return ACDag.build(
+            defs=dict(self.suite.defs),
+            failed_logs=[log for log in self.logs if log.failed],
+            failure=self.failure_pid,
+            policy=self.policy,
+            candidate_pids=fully,
+        )
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self) -> None:
+        """Persist the store manifest and the evaluation matrix."""
+        self.store.save()
+        self.matrix.save()

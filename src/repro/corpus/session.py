@@ -1,0 +1,83 @@
+"""Corpus-backed debugging sessions.
+
+:class:`CorpusSession` is an :class:`~repro.harness.session.AIDSession`
+whose learning phase reads from a :class:`~repro.corpus.store.TraceStore`
+instead of re-running the workload: stored traces stand in for the
+collection sweep, and predicate evaluation routes through the persistent
+:class:`~repro.corpus.matrix.EvalMatrix`, so a warm corpus re-evaluates
+zero already-seen (predicate, trace) pairs.  The intervention phase is
+unchanged — interventions are re-executions and need the live program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.statistical import PredicateLog
+from ..harness.session import AIDSession, SessionConfig
+from ..sim.program import Program
+from .matrix import EvalMatrix
+from .store import CorpusError, TraceStore
+
+
+class CorpusSession(AIDSession):
+    """A full debugging session whose corpus lives on disk."""
+
+    def __init__(
+        self,
+        program: Program,
+        store: TraceStore,
+        config: Optional[SessionConfig] = None,
+        matrix: Optional[EvalMatrix] = None,
+    ) -> None:
+        if store.program is not None and store.program != program.name:
+            raise CorpusError(
+                f"corpus holds traces of {store.program!r}, "
+                f"not {program.name!r}"
+            )
+        super().__init__(program, config=config)
+        self.store = store
+        self.matrix = matrix if matrix is not None else EvalMatrix(store.matrix_path)
+
+    def collect(self):
+        """Stage 1 from the store: no executions, just loads."""
+        if self._corpus is None:
+            corpus = self.store.labeled_corpus()
+            if not corpus.failures:
+                raise CorpusError("corpus has no failed traces to debug from")
+            if not corpus.successes:
+                raise CorpusError(
+                    "corpus has no successful traces to debug from"
+                )
+            signature = corpus.dominant_failure_signature()
+            self._corpus = corpus.restrict_failures(signature)
+        return self._corpus
+
+    def _evaluate_logs(self, traces) -> list[PredicateLog]:
+        return [self.matrix.log_for(self._suite, t) for t in traces]
+
+    def _workload_key(self) -> str:
+        """Outcome-cache namespace for corpus-backed runs.
+
+        Uses the corpus contents (sorted fingerprints) rather than
+        collection quotas: two sessions over the same stored traces share
+        memoized intervention outcomes no matter how the corpus was
+        assembled.
+        """
+        from ..sim.serialize import stable_digest
+
+        key = (
+            f"{self.program.name}#corpus-{stable_digest(sorted(self.store.entries))}"
+            f"@{self.config.max_steps}"
+        )
+        if self.config.extractors is not None:
+            names = ",".join(
+                sorted(type(e).__name__ for e in self.config.extractors)
+            )
+            key += f"!x[{names}]"
+        return key
+
+    def save(self) -> None:
+        """Persist the evaluation matrix (and the store manifest)."""
+        self.store.save()
+        self.matrix.save()

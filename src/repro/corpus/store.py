@@ -1,0 +1,237 @@
+"""The content-addressed, on-disk trace store.
+
+The paper's offline phase (Appendix A) assumes a corpus of labeled
+execution logs collected once and re-analyzed many times.  This module
+is that corpus made durable: each trace is serialized via
+:mod:`repro.sim.serialize` and stored under its content fingerprint
+(``traces/<fp>.json``), so ingesting the same execution twice stores it
+once, and a manifest records labels, seeds, and failure signatures so
+analyses can plan without touching trace bodies.
+
+Layout of a corpus directory::
+
+    DIR/
+      manifest.json       label/seed/signature per fingerprint + metadata
+      traces/<fp>.json    one serialized trace each (content-addressed)
+      evalmatrix.json     the persisted predicate-evaluation memo
+                          (written by :mod:`repro.corpus.matrix`)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..harness.runner import LabeledCorpus
+from ..sim.serialize import (
+    ImportedTrace,
+    stable_digest,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+MANIFEST_NAME = "manifest.json"
+MATRIX_NAME = "evalmatrix.json"
+TRACES_DIR = "traces"
+STORE_VERSION = 1
+
+
+class CorpusError(RuntimeError):
+    """The corpus directory is missing, malformed, or inconsistent."""
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """Manifest row: everything known about one stored trace."""
+
+    fingerprint: str
+    label: str  # "pass" | "fail"
+    seed: int
+    signature: Optional[str]  # failure signature, None for passes
+
+    @property
+    def failed(self) -> bool:
+        return self.label == "fail"
+
+
+class TraceStore:
+    """A persistent, deduplicating corpus of execution traces."""
+
+    def __init__(self, root: str | os.PathLike, manifest: dict) -> None:
+        self.root = Path(root)
+        self._program: Optional[str] = manifest.get("program")
+        self.entries: dict[str, TraceEntry] = {
+            fp: TraceEntry(
+                fingerprint=fp,
+                label=raw["label"],
+                seed=raw["seed"],
+                signature=raw.get("signature"),
+            )
+            for fp, raw in manifest.get("traces", {}).items()
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def init(
+        cls, root: str | os.PathLike, program: Optional[str] = None
+    ) -> "TraceStore":
+        """Create a fresh corpus directory (refuses to clobber one)."""
+        root = Path(root)
+        if (root / MANIFEST_NAME).exists():
+            raise CorpusError(f"{root} already holds a corpus")
+        (root / TRACES_DIR).mkdir(parents=True, exist_ok=True)
+        store = cls(root, {"program": program})
+        store.save()
+        return store
+
+    @classmethod
+    def open(cls, root: str | os.PathLike) -> "TraceStore":
+        root = Path(root)
+        path = root / MANIFEST_NAME
+        if not path.exists():
+            raise CorpusError(f"{root} is not a corpus (no {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorpusError(f"{path} is unreadable: {exc}") from exc
+        version = manifest.get("version")
+        if version != STORE_VERSION:
+            raise CorpusError(
+                f"unsupported corpus version {version!r} in {path}"
+            )
+        return cls(root, manifest)
+
+    def save(self) -> None:
+        """Write the manifest (atomically: temp file + rename)."""
+        payload = {
+            "version": STORE_VERSION,
+            "program": self._program,
+            "traces": {
+                fp: {
+                    "label": e.label,
+                    "seed": e.seed,
+                    "signature": e.signature,
+                }
+                for fp, e in sorted(self.entries.items())
+            },
+        }
+        path = self.root / MANIFEST_NAME
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(path)
+
+    # -- identity --------------------------------------------------------
+
+    @property
+    def program(self) -> Optional[str]:
+        """The program name every stored trace must come from (pinned at
+        init or by the first ingested trace)."""
+        return self._program
+
+    @property
+    def matrix_path(self) -> Path:
+        return self.root / MATRIX_NAME
+
+    def trace_path(self, fingerprint: str) -> Path:
+        return self.root / TRACES_DIR / f"{fingerprint}.json"
+
+    # -- ingestion -------------------------------------------------------
+
+    def ingest(self, trace) -> tuple[str, bool]:
+        """Add one trace (live or imported); returns ``(fp, added)``.
+
+        Dedup is content-addressed: the fingerprint is the stable digest
+        of the serialized trace, so re-ingesting an identical execution
+        is a no-op.  Call :meth:`save` after a batch to persist the
+        manifest.
+        """
+        payload = trace_to_dict(trace)
+        return self.ingest_payload(payload)
+
+    def ingest_payload(self, payload: dict) -> tuple[str, bool]:
+        """Add one already-serialized trace payload; returns ``(fp, added)``."""
+        # Validate eagerly — a malformed payload must fail on ingest, not
+        # years later mid-analysis.  Also checks the schema version.
+        trace = trace_from_dict(payload)
+        if self._program is None:
+            self._program = trace.program_name
+        elif trace.program_name != self._program:
+            raise CorpusError(
+                f"trace is from program {trace.program_name!r}, but this "
+                f"corpus holds {self._program!r}"
+            )
+        fp = stable_digest(payload)
+        if fp in self.entries:
+            return fp, False
+        path = self.trace_path(fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, sort_keys=True))
+        self.entries[fp] = TraceEntry(
+            fingerprint=fp,
+            label="fail" if trace.failed else "pass",
+            seed=trace.seed,
+            signature=(
+                trace.failure.signature if trace.failure is not None else None
+            ),
+        )
+        return fp, True
+
+    # -- retrieval -------------------------------------------------------
+
+    def load(self, fingerprint: str) -> ImportedTrace:
+        entry = self.entries.get(fingerprint)
+        if entry is None:
+            raise CorpusError(f"no trace {fingerprint!r} in this corpus")
+        path = self.trace_path(fingerprint)
+        if not path.exists():
+            raise CorpusError(f"manifest lists {fingerprint} but {path} is gone")
+        return trace_from_dict(
+            json.loads(path.read_text()), fingerprint=fingerprint
+        )
+
+    def traces(self, label: Optional[str] = None) -> Iterator[ImportedTrace]:
+        """All stored traces (optionally one label), manifest order."""
+        for fp, entry in sorted(self.entries.items()):
+            if label is None or entry.label == label:
+                yield self.load(fp)
+
+    def labeled_corpus(self) -> LabeledCorpus:
+        """The stored traces as a :class:`LabeledCorpus` (every loaded
+        trace carries its ``fingerprint``)."""
+        corpus = LabeledCorpus()
+        for trace in self.traces():
+            (corpus.failures if trace.failed else corpus.successes).append(trace)
+        return corpus
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def n_pass(self) -> int:
+        return sum(1 for e in self.entries.values() if not e.failed)
+
+    @property
+    def n_fail(self) -> int:
+        return sum(1 for e in self.entries.values() if e.failed)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def signature_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self.entries.values():
+            if e.signature is not None:
+                counts[e.signature] = counts.get(e.signature, 0) + 1
+        return counts
+
+    def dominant_failure_signature(self) -> Optional[str]:
+        counts = self.signature_counts()
+        if not counts:
+            return None
+        return max(sorted(counts), key=lambda s: counts[s])

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..core.intervention import RunOutcome
+from ..sim.serialize import stable_digest
 
 CACHE_FORMAT_VERSION = 1
 
@@ -48,6 +49,19 @@ class RunRequest:
     @property
     def key(self) -> CacheKey:
         return (self.workload, self.seed, self.pids)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content address of this request, using the same digest scheme
+        as the trace-corpus store (:mod:`repro.sim.serialize`) — one
+        fingerprint vocabulary across every persistence layer."""
+        return stable_digest(
+            {
+                "workload": self.workload,
+                "seed": self.seed,
+                "pids": sorted(self.pids),
+            }
+        )
 
 
 class OutcomeCache:

@@ -128,7 +128,7 @@ class AIDSession:
                 extractors=self.config.extractors,
                 program=self.program,
             )
-            self._logs = self._suite.evaluate_all(
+            self._logs = self._evaluate_logs(
                 corpus.successes + corpus.failures
             )
             self._debugger = StatisticalDebugger(logs=self._logs)
@@ -149,6 +149,15 @@ class AIDSession:
                 and pid not in set(self._suite.failure_pids())
             ]
         return self._debugger
+
+    def _evaluate_logs(self, traces) -> list[PredicateLog]:
+        """Evaluate the frozen suite over the corpus traces.
+
+        Subclass hook: :class:`repro.corpus.session.CorpusSession` routes
+        this through the persistent eval matrix so warm corpora pay zero
+        re-evaluations.
+        """
+        return self._suite.evaluate_all(traces)
 
     @property
     def failure_pid(self) -> str:

@@ -11,6 +11,7 @@ metadata), so a corpus can be debugged without re-running the program.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Optional
 
@@ -78,6 +79,39 @@ def trace_to_json(trace: ExecutionTrace, indent: Optional[int] = None) -> str:
     return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
 
 
+# -- content addressing ------------------------------------------------------
+#
+# One fingerprint scheme for the whole repo: the trace-corpus store, the
+# eval-matrix memo keys, and the intervention outcome cache all derive
+# identities from the same canonical-JSON digest, so "same content" means
+# the same thing at every layer.
+
+#: Hex digest length: 64 bits of SHA-256, plenty below corpus scales where
+#: birthday collisions matter, short enough to be a filename and a log line.
+DIGEST_CHARS = 16
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(payload: object) -> str:
+    """Stable hex fingerprint of JSON-compatible data."""
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:DIGEST_CHARS]
+
+
+def trace_fingerprint(trace: ExecutionTrace) -> str:
+    """Content address of a trace: digest of its serialized form.
+
+    Two executions with identical observable behaviour (same calls,
+    timings, accesses, failure) collide by design — that is the dedup
+    the corpus store wants.
+    """
+    return stable_digest(trace_to_dict(trace))
+
+
 class ImportedTrace:
     """A deserialized trace, API-compatible with :class:`ExecutionTrace`
     for everything the core pipeline reads."""
@@ -89,11 +123,14 @@ class ImportedTrace:
         end_time: int,
         failure: Optional[FailureInfo],
         calls: list[MethodExecution],
+        fingerprint: Optional[str] = None,
     ) -> None:
         self.program_name = program_name
         self.seed = seed
         self.end_time = end_time
         self.failure = failure
+        #: Content address when loaded from a corpus store (else ``None``).
+        self.fingerprint = fingerprint
         self._calls = sorted(calls, key=lambda m: (m.start_time, m.call_id))
         self._by_key = {m.key: m for m in self._calls}
 
@@ -118,7 +155,9 @@ class ImportedTrace:
         return {a.obj for a in self.accesses()}
 
 
-def trace_from_dict(payload: dict) -> ImportedTrace:
+def trace_from_dict(
+    payload: dict, fingerprint: Optional[str] = None
+) -> ImportedTrace:
     """Rebuild a trace from :func:`trace_to_dict` output."""
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(
@@ -173,6 +212,7 @@ def trace_from_dict(payload: dict) -> ImportedTrace:
         end_time=payload["end_time"],
         failure=failure,
         calls=calls,
+        fingerprint=fingerprint,
     )
 
 

@@ -21,7 +21,12 @@ EXPECTED = {
     "synthetic_sweep.py": ["Figure 8", "exact causal path: True"],
     "custom_predicates.py": ["negret[", "root cause"],
     "theory_bounds.py": ["Lemma 1", "agree=True"],
-    "offline_corpus.py": ["archived", "AC-DAG from the archived corpus"],
+    "offline_corpus.py": [
+        "archived",
+        "AC-DAG from the archived corpus",
+        "warm re-analysis: 0 fresh evaluations",
+        "equals a full rebuild",
+    ],
 }
 
 

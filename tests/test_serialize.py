@@ -11,11 +11,13 @@ from repro.harness.runner import collect
 from repro.sim import run_program
 from repro.sim.serialize import (
     ImportedTrace,
+    trace_fingerprint,
     trace_from_dict,
     trace_from_json,
     trace_to_dict,
     trace_to_json,
 )
+from repro.workloads.common import REGISTRY
 
 
 @pytest.fixture(scope="module")
@@ -73,6 +75,63 @@ class TestRoundTrip:
         trace = run_program(racy_program, 0).trace
         text = trace_to_json(trace)
         assert text  # serializable end to end
+
+
+class TestRoundTripProperty:
+    """Property-style sweeps: the corpus store's core invariant is that
+    serialize → import reproduces ``method_executions`` *identically*
+    (every field, including failure and fault metadata), for failed and
+    successful runs alike."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_method_executions_identical_across_seeds(
+        self, racy_program, seed
+    ):
+        trace = run_program(racy_program, seed).trace
+        restored = trace_from_json(trace_to_json(trace))
+        assert restored.method_executions() == trace.method_executions()
+        assert restored.failed == trace.failed
+        if trace.failed:
+            assert restored.failure == trace.failure
+
+    @pytest.mark.parametrize(
+        "workload_name", ["network", "kafka", "npgsql", "healthtelemetry"]
+    )
+    def test_case_study_failures_round_trip(self, workload_name):
+        program = REGISTRY.build(workload_name).program
+        failures = 0
+        for seed in range(40):
+            trace = run_program(program, seed).trace
+            restored = trace_from_dict(trace_to_dict(trace))
+            # identical up to the documented return-value JSON coercion
+            # (tuples become lists on first serialization, then stay put)
+            assert trace_to_dict(restored) == trace_to_dict(trace)
+            assert [m.key for m in restored.method_executions()] == [
+                m.key for m in trace.method_executions()
+            ]
+            if trace.failed:
+                failures += 1
+                # fault metadata survives: mode, exception, site, time
+                assert restored.failure.mode == trace.failure.mode
+                assert restored.failure.exception == trace.failure.exception
+                assert restored.failure.method == trace.failure.method
+                assert restored.failure.thread == trace.failure.thread
+                assert restored.failure.time == trace.failure.time
+            if failures >= 3:
+                break
+        assert failures >= 1, f"{workload_name}: no failed seed in range"
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_serialized_form_is_a_fixed_point(self, racy_program, seed):
+        """dict → import → dict is the identity, so content fingerprints
+        agree between live and imported traces (the dedup invariant)."""
+        trace = run_program(racy_program, seed).trace
+        payload = trace_to_dict(trace)
+        reserialized = trace_to_dict(trace_from_dict(payload))
+        assert reserialized == payload
+        assert trace_fingerprint(trace) == trace_fingerprint(
+            trace_from_dict(payload)
+        )
 
 
 class TestOfflineAnalysis:

@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Check that ``repro`` CLI invocations in the docs actually parse.
+
+Walks every fenced shell code block in the given markdown files (by
+default ``README.md`` and ``docs/*.md``), extracts lines that invoke
+``repro`` / ``python -m repro``, and validates each subcommand name and
+``--flag`` against the live argparse parser — the same information
+``repro --help`` prints, but machine-checked, so documentation can
+never advertise a dead flag or a renamed command.
+
+Positional *values* (directories, workload names, seeds) are not
+validated; subcommand names and option flags are.
+
+Usage:  PYTHONPATH=src python scripts/check_docs.py [FILE...]
+Exit status: 0 when every invocation parses, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+#: fence languages treated as shell (everything else is skipped)
+SHELL_LANGUAGES = {"", "sh", "bash", "shell", "console", "text"}
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_shell_lines(text: str):
+    """(line_number, line) for every line inside a shell code fence."""
+    language = None
+    for number, line in enumerate(text.splitlines(), start=1):
+        fence = FENCE.match(line.strip())
+        if fence is not None:
+            language = fence.group(1).lower() if language is None else None
+            continue
+        if language is not None and language in SHELL_LANGUAGES:
+            yield number, line
+
+
+def extract_invocation(line: str) -> list[str] | None:
+    """The tokens after ``repro`` when the line invokes the CLI."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    # drop trailing shell comments (predicate ids never appear in
+    # shell examples, so a bare " # " is always a comment)
+    stripped = re.split(r"\s+#\s", stripped, maxsplit=1)[0]
+    try:
+        tokens = shlex.split(stripped)
+    except ValueError:
+        return None
+    for index, token in enumerate(tokens):
+        if token == "repro":
+            preceded_by = tokens[index - 1] if index else None
+            # `repro ...`, `python -m repro ...`, `ENV=val repro ...`
+            if (
+                index == 0
+                or preceded_by == "-m"
+                or "=" in preceded_by
+                or preceded_by in ("$", "exec")
+            ):
+                return tokens[index + 1 :]
+    return None
+
+
+def subcommands(parser: argparse.ArgumentParser) -> dict:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def option_strings(parser: argparse.ArgumentParser) -> set[str]:
+    options: set[str] = set()
+    for action in parser._actions:
+        options.update(action.option_strings)
+    return options
+
+
+def check_invocation(tokens: list[str], parser) -> list[str]:
+    """Validate one invocation's command path and flags; returns errors."""
+    errors: list[str] = []
+    current = parser
+    path = "repro"
+    pending = subcommands(current)
+    for token in tokens:
+        if token.startswith("-"):
+            flag = token.split("=", 1)[0]
+            if flag not in option_strings(current):
+                errors.append(f"`{path}` has no flag {flag!r}")
+        elif pending:
+            if token in pending:
+                current = pending[token]
+                path = f"{path} {token}"
+                pending = subcommands(current)
+            else:
+                errors.append(f"`{path}` has no subcommand {token!r}")
+                pending = {}
+        # other tokens are positional values / flag arguments
+    return errors
+
+
+def check_file(path: Path, parser) -> list[str]:
+    errors: list[str] = []
+    for number, line in iter_shell_lines(path.read_text()):
+        tokens = extract_invocation(line)
+        if tokens is None:
+            continue
+        for problem in check_invocation(tokens, parser):
+            errors.append(f"{path}:{number}: {problem}: {line.strip()}")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    files = [Path(p) for p in (argv if argv is not None else sys.argv[1:])]
+    if not files:
+        files = sorted((REPO_ROOT / "docs").glob("*.md"))
+        files.append(REPO_ROOT / "README.md")
+    parser = build_parser()
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(path, parser))
+    for problem in errors:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {checked} file(s): "
+        + ("OK" if not errors else f"{len(errors)} problem(s)")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,18 +10,21 @@ Commands
     Regenerate the paper's evaluation artifacts as text tables.
 ``trace <workload> --seed N [-o FILE]``
     Run one execution and dump its trace as JSON (Figure 9(b) schema).
-``corpus init|ingest|stats|analyze``
+``corpus init|ingest|stats|shard-stats|analyze|compact``
     Manage a persistent trace-corpus store: content-addressed ingestion
-    (dedup by trace fingerprint), corpus statistics, and the offline
-    analysis phase with memoized predicate evaluation.  ``debug
-    --corpus DIR`` then debugs from the stored logs instead of
-    re-running the collection sweep.
+    (dedup by trace fingerprint), corpus and per-shard statistics, the
+    offline analysis phase with memoized predicate evaluation
+    (``analyze --jobs N`` runs one evaluation task per shard), and
+    compaction of shadowed matrix rows.  ``debug --corpus DIR`` then
+    debugs from the stored logs instead of re-running the collection
+    sweep.
 
 The intervention-heavy commands (``debug``, ``figure7``, ``figure8``)
 accept execution-engine flags: ``--jobs N`` / ``--backend
 {serial,thread,process}`` pick where intervened re-executions run, and
 ``--cache FILE`` persists intervention outcomes so a repeated sweep
-replays from memoization instead of re-executing.
+replays from memoization instead of re-executing.  ``corpus analyze``
+reuses the same engine to fan corpus shards out across workers.
 """
 
 from __future__ import annotations
@@ -235,9 +238,15 @@ def _cmd_corpus_init(args: argparse.Namespace) -> int:
     program = None
     if args.workload is not None:
         program = REGISTRY.build(args.workload).program.name
-    store = TraceStore.init(args.dir, program=program)
+    store = TraceStore.init(
+        args.dir, program=program, shard_width=args.shard_width
+    )
     pinned = f" (pinned to {store.program})" if store.program else ""
-    print(f"initialized empty corpus at {args.dir}{pinned}")
+    n_shards = 16 ** store.shard_width if store.shard_width else 1
+    print(
+        f"initialized empty corpus at {args.dir}{pinned} "
+        f"(shard width {store.shard_width}: up to {n_shards} shards)"
+    )
     return 0
 
 
@@ -303,19 +312,21 @@ def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus_stats(args: argparse.Namespace) -> int:
-    from .corpus import EvalMatrix
-
     store = TraceStore.open(args.dir)
     print(f"corpus   : {args.dir}")
     print(f"program  : {store.program or '(unpinned)'}")
     print(f"traces   : {len(store)} ({store.n_pass} pass / {store.n_fail} fail)")
+    print(
+        f"shards   : {len(store.shard_ids)} populated "
+        f"(width {store.shard_width})"
+    )
     for signature, count in sorted(store.signature_counts().items()):
         print(f"  failure signature {signature}: {count}")
-    matrix = EvalMatrix(store.matrix_path)
-    if matrix.traces:
+    matrix = store.eval_matrix()
+    if matrix.n_traces:
         print(
             f"eval matrix: {matrix.n_pids} predicates x "
-            f"{len(matrix.traces)} traces, {matrix.n_pairs} pairs "
+            f"{matrix.n_traces} traces, {matrix.n_pairs} pairs "
             f"memoized ({matrix.coverage():.0%} of the matrix)"
         )
     else:
@@ -323,9 +334,52 @@ def _cmd_corpus_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus_shard_stats(args: argparse.Namespace) -> int:
+    from .harness.tables import render_table
+
+    store = TraceStore.open(args.dir)
+    matrix = store.eval_matrix()
+    matrix.load_all()
+    rows = []
+    for sid in store.shard_ids:
+        entries = store.shard_entries(sid)
+        n_fail = sum(1 for e in entries.values() if e.failed)
+        shard_matrix = matrix.shard(sid)
+        shard_dir = store.shard_dir(sid)
+        size = sum(
+            p.stat().st_size for p in shard_dir.rglob("*") if p.is_file()
+        )
+        rows.append(
+            [
+                sid,
+                str(len(entries)),
+                f"{len(entries) - n_fail}/{n_fail}",
+                str(shard_matrix.n_pairs),
+                f"{size:,}",
+            ]
+        )
+    print(
+        f"corpus {args.dir}: {len(store)} traces across "
+        f"{len(store.shard_ids)} shards (width {store.shard_width})"
+    )
+    print(
+        render_table(
+            ["shard", "traces", "pass/fail", "memo pairs", "bytes"], rows
+        )
+    )
+    return 0
+
+
 def _cmd_corpus_analyze(args: argparse.Namespace) -> int:
+    engine = None
+    if args.jobs or args.backend:
+        engine = ExecutionEngine(backend=make_backend(args.backend, args.jobs))
     pipeline = _build_pipeline(args)
-    pipeline.bootstrap()
+    try:
+        pipeline.bootstrap(engine=engine)
+    finally:
+        if engine is not None:
+            engine.close()
     pipeline.save()
     matrix = pipeline.matrix
     print(
@@ -353,12 +407,30 @@ def _cmd_corpus_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus_compact(args: argparse.Namespace) -> int:
+    pipeline = _build_pipeline(args)
+    pipeline.bootstrap()
+    stats = pipeline.compact()
+    pipeline.store.save()
+    print(
+        f"compacted {args.dir}: dropped {stats.dropped_rows} shadowed "
+        f"predicate rows and {stats.dropped_columns} evicted trace columns"
+    )
+    print(
+        f"matrix bytes: {stats.bytes_before:,} -> {stats.bytes_after:,} "
+        f"({stats.bytes_reclaimed:,} reclaimed)"
+    )
+    return 0
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     handlers = {
         "init": _cmd_corpus_init,
         "ingest": _cmd_corpus_ingest,
         "stats": _cmd_corpus_stats,
+        "shard-stats": _cmd_corpus_shard_stats,
         "analyze": _cmd_corpus_analyze,
+        "compact": _cmd_corpus_compact,
     }
     try:
         return handlers[args.corpus_command](args)
@@ -435,6 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default=None, choices=REGISTRY.names(),
         help="pin the corpus to one workload's program up front",
     )
+    cinit.add_argument(
+        "--shard-width", type=int, default=2, choices=range(0, 5),
+        metavar="W",
+        help="hex chars of the trace fingerprint used as the shard id "
+        "(default 2: up to 256 shards; 0 disables sharding)",
+    )
 
     cingest = csub.add_parser(
         "ingest",
@@ -458,14 +536,38 @@ def build_parser() -> argparse.ArgumentParser:
     cstats = csub.add_parser("stats", help="corpus and eval-matrix summary")
     cstats.add_argument("dir")
 
+    cshards = csub.add_parser(
+        "shard-stats",
+        help="per-shard breakdown: traces, labels, memoized pairs, bytes",
+    )
+    cshards.add_argument("dir")
+
     canalyze = csub.add_parser(
         "analyze",
         help="offline phase over the stored logs: predicates -> SD -> "
-        "AC-DAG, with evaluation memoized in the corpus",
+        "AC-DAG, with evaluation memoized in the corpus (one task per "
+        "shard with --jobs)",
     )
     canalyze.add_argument("dir")
     canalyze.add_argument("--dot", action="store_true",
                           help="also print the AC-DAG in Graphviz format")
+    canalyze.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="evaluate corpus shards in parallel on N workers (the "
+        "merged result is identical for any job count)",
+    )
+    canalyze.add_argument(
+        "--backend", default=None, choices=["serial", "thread", "process"],
+        help="where shard evaluation runs (default serial; --jobs N>1 "
+        "implies thread)",
+    )
+
+    ccompact = csub.add_parser(
+        "compact",
+        help="reclaim eval-matrix rows shadowed by predicate drift and "
+        "columns of evicted traces",
+    )
+    ccompact.add_argument("dir")
 
     return parser
 

@@ -1,35 +1,54 @@
-"""``repro.corpus`` — the persistent trace-corpus subsystem.
+"""``repro.corpus`` — the persistent, sharded trace-corpus subsystem.
 
 Turns the paper's collect-once / analyze-many offline phase (Appendix A)
 into a durable service:
 
 * :mod:`~repro.corpus.store` — a content-addressed, deduplicating
-  on-disk :class:`TraceStore` with a label/seed/signature manifest;
-* :mod:`~repro.corpus.matrix` — the :class:`EvalMatrix`, a
-  bitset-backed predicates × traces memo guaranteeing each pair is
-  evaluated exactly once across the corpus's lifetime;
+  on-disk :class:`TraceStore`, sharded by fingerprint prefix
+  (``shards/<hex>/``) with per-shard manifests and transparent in-place
+  migration from the v1 flat layout;
+* :mod:`~repro.corpus.matrix` — the :class:`EvalMatrix` (one bitset
+  file per shard) behind a :class:`ShardedEvalMatrix`, a predicates ×
+  traces memo guaranteeing each pair is evaluated at most once
+  corpus-wide, with shard-parallel evaluation and compaction;
 * :mod:`~repro.corpus.pipeline` — the :class:`IncrementalPipeline`
   maintaining SD counts, the fully-discriminative set, and the AC-DAG
-  under log insertions (with a :meth:`~IncrementalPipeline.rebuild`
-  fallback the patched state is asserted equal to);
+  under log insertions, with a shard-parallel ``bootstrap`` fanning out
+  through :mod:`repro.exec` (and a
+  :meth:`~IncrementalPipeline.rebuild` fallback the merged state is
+  asserted equal to);
 * :mod:`~repro.corpus.session` — :class:`CorpusSession`, an AID session
   that debugs from stored logs instead of re-running the workload.
 
-CLI: ``repro corpus init|ingest|stats|analyze`` and
-``repro debug <workload> --corpus DIR``.
+CLI: ``repro corpus init|ingest|stats|shard-stats|analyze|compact`` and
+``repro debug <workload> --corpus DIR``; ``analyze --jobs N`` runs one
+evaluation task per shard.  See ``docs/corpus.md`` for the workflow and
+the on-disk format spec.
 """
 
-from .matrix import EvalMatrix
+from .matrix import (
+    CompactionStats,
+    EvalMatrix,
+    ShardedEvalMatrix,
+    ShardEvaluation,
+    merge_matrices,
+    split_matrix,
+)
 from .pipeline import IncrementalPipeline, IngestResult
 from .session import CorpusSession
 from .store import CorpusError, TraceEntry, TraceStore
 
 __all__ = [
+    "CompactionStats",
     "CorpusError",
     "CorpusSession",
     "EvalMatrix",
     "IncrementalPipeline",
     "IngestResult",
+    "ShardEvaluation",
+    "ShardedEvalMatrix",
     "TraceEntry",
     "TraceStore",
+    "merge_matrices",
+    "split_matrix",
 ]

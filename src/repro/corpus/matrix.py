@@ -1,10 +1,13 @@
-"""The predicates × traces evaluation matrix, bitset-backed and persisted.
+"""The predicates × traces evaluation matrix — bitset-backed, sharded,
+and persisted.
 
+Role
+----
 Predicate evaluation is the corpus pipeline's hot loop: every analysis
 needs ``suite.evaluate(trace)`` for every stored trace, and extractors
 re-propose largely the same predicates run after run.  The matrix
-guarantees each (predicate, trace) pair is evaluated **exactly once**
-across the corpus's lifetime:
+guarantees each (predicate, trace) pair is evaluated **at most once
+corpus-wide**:
 
 * columns are traces (keyed by content fingerprint), rows are predicates
   (keyed by pid);
@@ -12,29 +15,54 @@ across the corpus's lifetime:
   pair has been decided) and ``observed`` (the predicate held) — give
   O(1) memo checks and popcount-cheap precision/recall counting;
 * observation windows (what the AC-DAG anchors on) are kept in a side
-  table only for observed pairs;
-* the whole structure round-trips through ``evalmatrix.json`` next to
-  the trace store, so a warm restart re-evaluates nothing.
+  table only for observed pairs.
 
-Pids do not encode every predicate parameter (a ``slow[...]`` threshold
-moves as the corpus grows), so each row also records the predicate's
-full :meth:`~repro.core.predicates.PredicateDef.definition_digest`; a
-row whose definition drifted is dropped and re-evaluated rather than
-served stale.
+Invariants
+----------
+* a (predicate, trace) pair is evaluated at most once corpus-wide: a
+  decided pair is always answered from the bitsets;
+* pids do not encode every predicate parameter (a ``slow[...]``
+  threshold moves as the corpus grows), so each row also records the
+  predicate's full
+  :meth:`~repro.core.predicates.PredicateDef.definition_digest`; a row
+  whose definition drifted is dropped and re-evaluated rather than
+  served stale;
+* the shard holding a pair is a pure function of the trace fingerprint
+  (the store's ``shard_id``), so concurrent per-shard evaluation never
+  touches shared state.
+
+Persistence format
+------------------
+One :class:`EvalMatrix` serializes to a single JSON file (format
+version 1): column fingerprints + labels, hex-encoded bitsets per pid,
+definition digests, and observation windows.  A v2 corpus keeps **one
+such file per shard** (``shards/<sid>/evalmatrix.json``) behind a
+:class:`ShardedEvalMatrix`, with a top-level index
+(``DIR/evalmatrix.json``, format version 2) listing the shards that
+hold bitset files.  :func:`migrate_matrix_v1` splits a v1 single-file
+matrix into per-shard files preserving every memoized pair.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Optional, Sequence
 
+from ..core.acdag import ACDag
 from ..core.extraction import PredicateSuite
+from ..core.precedence import PrecedencePolicy
 from ..core.predicates import Observation
-from ..core.statistical import PredicateLog
+from ..core.statistical import IncrementalDebugger, PredicateLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
+    from .store import TraceStore
 
 MATRIX_VERSION = 1
+MATRIX_INDEX_VERSION = 2
 
 
 def _obs_to_list(obs: Observation) -> list:
@@ -68,8 +96,34 @@ class EvalMatrix:
         #: fresh predicate evaluations / memo hits, this instance
         self.pair_evaluations = 0
         self.pair_hits = 0
+        #: (suite, {pid: digest}) — definition digests are a pure
+        #: function of the frozen suite, so computing them per (pid,
+        #: trace) pair would dominate warm evaluation
+        self._digest_cache: Optional[tuple] = None
         if self.path is not None and self.path.exists():
             self.load(self.path)
+
+    def __getstate__(self) -> dict:
+        # Worker processes hand matrices back by pickle; the digest
+        # cache references the (unpicklable-sized) suite and is cheap to
+        # rebuild, so it stays behind.
+        state = self.__dict__.copy()
+        state["_digest_cache"] = None
+        return state
+
+    def _digests_for(self, suite: PredicateSuite) -> dict[str, str]:
+        """Per-suite digest table, computed once (the suite is frozen)."""
+        cache = self._digest_cache
+        if cache is None or cache[0] is not suite:
+            cache = (
+                suite,
+                {
+                    pid: pred.definition_digest()
+                    for pid, pred in suite.defs.items()
+                },
+            )
+            self._digest_cache = cache
+        return cache[1]
 
     # -- columns ---------------------------------------------------------
 
@@ -112,8 +166,9 @@ class EvalMatrix:
         mask = 1 << col
         observations: dict[str, Observation] = {}
         row_obs = self.observations.get(fp)
+        suite_digests = self._digests_for(suite)
         for pid, pred in suite.defs.items():
-            digest = pred.definition_digest()
+            digest = suite_digests[pid]
             if self.digests.get(pid) != digest:
                 # New predicate, or a same-pid predicate whose parameters
                 # drifted: invalidate the whole row.
@@ -142,12 +197,99 @@ class EvalMatrix:
             ),
         )
 
+    def reconstruct_log(
+        self,
+        suite: PredicateSuite,
+        fingerprint: str,
+        failed: bool,
+        seed: int,
+        signature: Optional[str],
+    ) -> PredicateLog:
+        """The log :meth:`log_for` would return for a fully-decided
+        trace, rebuilt from the bitsets without touching the trace or
+        the hit/evaluation counters."""
+        col = self._column.get(fingerprint)
+        if col is None:
+            raise ValueError(f"trace {fingerprint!r} has no matrix column")
+        mask = 1 << col
+        row = self.observations.get(fingerprint, {})
+        observations = {
+            pid: _obs_from_list(row[pid])
+            for pid in suite.defs
+            if self.observed.get(pid, 0) & mask
+        }
+        return PredicateLog(
+            observations=observations,
+            failed=failed,
+            seed=seed,
+            failure_signature=signature,
+        )
+
     def _drop_row(self, pid: str) -> None:
         self.evaluated.pop(pid, None)
         self.observed.pop(pid, None)
         self.digests.pop(pid, None)
         for row in self.observations.values():
             row.pop(pid, None)
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(
+        self,
+        keep_fingerprints: Iterable[str],
+        keep_digests: Mapping[str, str],
+    ) -> tuple[int, int]:
+        """Reclaim rows and columns the corpus no longer needs.
+
+        Drops every row whose pid is absent from ``keep_digests`` or
+        whose recorded definition digest differs (a predicate that
+        drifted and is now shadowed by its re-evaluated successor), and
+        every column whose fingerprint is not in ``keep_fingerprints``
+        (a trace evicted from the manifest).  Returns
+        ``(dropped_rows, dropped_columns)``.
+        """
+        dead_rows = [
+            pid
+            for pid in sorted(set(self.evaluated) | set(self.digests))
+            if keep_digests.get(pid) != self.digests.get(pid)
+        ]
+        for pid in dead_rows:
+            self._drop_row(pid)
+        # Digest entries without a surviving row are dead weight too
+        # (split_matrix copies the full digest table to every shard).
+        self.digests = {
+            pid: digest
+            for pid, digest in self.digests.items()
+            if pid in self.evaluated
+        }
+
+        keep = set(keep_fingerprints)
+        dead_cols = [fp for fp in self.traces if fp not in keep]
+        if dead_cols:
+            kept = [
+                (fp, failed)
+                for fp, failed in zip(self.traces, self.labels)
+                if fp in keep
+            ]
+            remap = {
+                self._column[fp]: new for new, (fp, _) in enumerate(kept)
+            }
+            for bitsets in (self.evaluated, self.observed):
+                for pid, bits in list(bitsets.items()):
+                    packed = 0
+                    for old, new in remap.items():
+                        if bits >> old & 1:
+                            packed |= 1 << new
+                    bitsets[pid] = packed
+            self.traces = [fp for fp, _ in kept]
+            self.labels = [failed for _, failed in kept]
+            self._column = {fp: i for i, fp in enumerate(self.traces)}
+            for fp in dead_cols:
+                self.observations.pop(fp, None)
+        self.observations = {
+            fp: row for fp, row in self.observations.items() if row
+        }
+        return len(dead_rows), len(dead_cols)
 
     # -- bitset analytics ------------------------------------------------
 
@@ -177,6 +319,8 @@ class EvalMatrix:
         path = Path(path) if path is not None else self.path
         if path is None:
             raise ValueError("EvalMatrix has no path to save to")
+        from .store import _write_json
+
         payload = {
             "version": MATRIX_VERSION,
             "traces": self.traces,
@@ -196,9 +340,7 @@ class EvalMatrix:
                 if row
             },
         }
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        tmp.replace(path)
+        _write_json(path, payload, indent=None)
         return path
 
     def load(self, path: str | os.PathLike) -> None:
@@ -221,3 +363,457 @@ class EvalMatrix:
         self.observations = {
             fp: dict(row) for fp, row in payload["observations"].items()
         }
+
+
+@dataclass
+class ShardEvaluation:
+    """One shard's share of an analysis, in mergeable form.
+
+    Produced by :meth:`ShardedEvalMatrix.evaluate_shards` — possibly in
+    a worker process, in which case the ``matrix`` carries the shard's
+    post-evaluation memo state back to the parent.  ``logs`` are only
+    populated on request (the matrix already holds everything a log
+    contains, so shipping them across a process boundary would double
+    the payload); ``dag`` is this shard's partial AC-DAG when the caller
+    asked for per-shard DAG construction.
+    """
+
+    shard_id: str
+    matrix: EvalMatrix
+    #: (fingerprint, log) pairs, in the order the traces were given
+    #: (empty unless ``return_logs`` was set)
+    logs: list[tuple[str, PredicateLog]] = field(default_factory=list)
+    #: per-shard SD counters, merged deterministically by the pipeline
+    counters: IncrementalDebugger = field(default_factory=IncrementalDebugger)
+    #: partial AC-DAG over this shard's failed logs (None when the shard
+    #: has no failed logs or DAG construction was not requested)
+    dag: Optional["ACDag"] = None
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What ``compact`` reclaimed, summed over shards."""
+
+    dropped_rows: int
+    dropped_columns: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_reclaimed(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+class ShardedEvalMatrix:
+    """The corpus-wide evaluation memo: one :class:`EvalMatrix` per shard.
+
+    Routing is by trace fingerprint — the shard holding a pair is
+    ``store.shard_id(fingerprint)`` — so every memo lookup touches
+    exactly one shard file, and shards can be evaluated in parallel
+    without sharing state.  Shard matrices load lazily; ``save`` writes
+    each loaded shard next to its traces plus a top-level index
+    (``DIR/evalmatrix.json``, format version 2) naming every shard that
+    holds a bitset file.
+    """
+
+    def __init__(self, store: "TraceStore") -> None:
+        self.store = store
+        self._shards: dict[str, EvalMatrix] = {}
+
+    # -- routing ---------------------------------------------------------
+
+    def shard(self, shard_id: str) -> EvalMatrix:
+        """The per-shard matrix, loading its file on first touch."""
+        matrix = self._shards.get(shard_id)
+        if matrix is None:
+            matrix = EvalMatrix(self.store.shard_matrix_path(shard_id))
+            self._shards[shard_id] = matrix
+        return matrix
+
+    def shard_for(self, fingerprint: str) -> EvalMatrix:
+        return self.shard(self.store.shard_id(fingerprint))
+
+    def load_all(self) -> None:
+        """Load every shard matrix the index (or the store) knows of."""
+        for sid in self.persisted_shard_ids():
+            self.shard(sid)
+
+    def persisted_shard_ids(self) -> list[str]:
+        """Shards with a bitset file on disk, per the top-level index
+        (falling back to probing the store's populated shards)."""
+        index_path = self.store.matrix_index_path
+        sids: set[str] = set()
+        if index_path.exists():
+            payload = json.loads(index_path.read_text())
+            if payload.get("version") == MATRIX_INDEX_VERSION:
+                sids.update(payload.get("shards", []))
+        for sid in self.store.shard_ids:
+            if self.store.shard_matrix_path(sid).exists():
+                sids.add(sid)
+        return sorted(sids)
+
+    # -- the memoized evaluation loop ------------------------------------
+
+    def log_for(self, suite: PredicateSuite, trace) -> PredicateLog:
+        """Evaluate the suite on one trace, through its shard's memo."""
+        fp = getattr(trace, "fingerprint", None)
+        if fp is None:
+            raise ValueError(
+                "trace has no fingerprint; corpus evaluation is memoized "
+                "by content address"
+            )
+        return self.shard_for(fp).log_for(suite, trace)
+
+    def evaluate_shards(
+        self,
+        suite: PredicateSuite,
+        traces: Sequence,
+        engine: Optional["ExecutionEngine"] = None,
+        return_logs: bool = True,
+        build_dags: bool = False,
+        policy: Optional[PrecedencePolicy] = None,
+    ) -> list[ShardEvaluation]:
+        """Evaluate the suite over many traces, one task per shard.
+
+        With an :class:`~repro.exec.engine.ExecutionEngine` whose backend
+        has more than one job, shards fan out across the backend (thread
+        or forked process workers); each worker mutates only its own
+        shard matrix, and the returned matrices replace the parent's
+        copies, so process isolation is transparent.  Results come back
+        in sorted shard order regardless of completion order, and every
+        per-trace evaluation is independent — the outcome is
+        bit-identical for any job count.
+
+        ``build_dags`` makes each task also build its shard's partial
+        AC-DAG (over the shard's failed logs, candidates = the shard's
+        *local* fully-discriminative set); ``ACDag.merge`` over those
+        partials equals one global build, because the global FD set is
+        exactly the intersection of the shard-local ones.  With
+        ``return_logs=False`` the (bulky) per-trace logs stay in the
+        worker — the matrix carries the same information, and
+        :meth:`reconstruct_log` rebuilds any log from it for free.
+        """
+        groups: dict[str, list] = {}
+        for trace in traces:
+            fp = getattr(trace, "fingerprint", None)
+            if fp is None:
+                raise ValueError(
+                    "trace has no fingerprint; corpus evaluation is "
+                    "memoized by content address"
+                )
+            groups.setdefault(self.store.shard_id(fp), []).append(trace)
+        return self._evaluate_groups(
+            suite, groups, engine, False, return_logs, build_dags, policy
+        )
+
+    def evaluate_fingerprints(
+        self,
+        suite: PredicateSuite,
+        fingerprints: Sequence[str],
+        engine: Optional["ExecutionEngine"] = None,
+        return_logs: bool = True,
+        build_dags: bool = False,
+        policy: Optional[PrecedencePolicy] = None,
+    ) -> list[ShardEvaluation]:
+        """Like :meth:`evaluate_shards`, but each shard task *loads its
+        own traces* from the store — so trace deserialization
+        parallelizes along with evaluation.  This is the path a
+        pre-frozen suite takes (no global discovery pass needs the
+        traces in the parent)."""
+        groups: dict[str, list[str]] = {}
+        for fp in fingerprints:
+            groups.setdefault(self.store.shard_id(fp), []).append(fp)
+        return self._evaluate_groups(
+            suite, groups, engine, True, return_logs, build_dags, policy
+        )
+
+    def _evaluate_groups(
+        self,
+        suite: PredicateSuite,
+        groups: dict[str, list],
+        engine: Optional["ExecutionEngine"],
+        load: bool,
+        return_logs: bool,
+        build_dags: bool,
+        policy: Optional[PrecedencePolicy],
+    ) -> list[ShardEvaluation]:
+        sids = sorted(groups)
+        for sid in sids:
+            self.shard(sid)  # load before dispatch (workers only read files)
+        shards = self._shards
+        store = self.store
+        failure_pids = suite.failure_pids() if build_dags else []
+
+        def evaluate_shard(sid: str) -> ShardEvaluation:
+            evaluation = ShardEvaluation(shard_id=sid, matrix=shards[sid])
+            failed_logs: list[PredicateLog] = []
+            for item in groups[sid]:
+                trace = store.load(item) if load else item
+                log = evaluation.matrix.log_for(suite, trace)
+                if return_logs:
+                    evaluation.logs.append((trace.fingerprint, log))
+                evaluation.counters.add(log)
+                if log.failed:
+                    failed_logs.append(log)
+            if build_dags and failed_logs:
+                # The shard's failure pid and FD set match the global
+                # ones wherever they overlap: a failure predicate is
+                # observed in either all or none of the (same-signature)
+                # failed logs, and the global FD set is the intersection
+                # of the shard-local ones — which is what lets
+                # ACDag.merge reduce these partials exactly.
+                counts = evaluation.counters.counts
+                failure = next(
+                    (p for p in failure_pids if counts.get(p, [0, 0])[0]),
+                    None,
+                )
+                if failure is not None:
+                    local_fd = [
+                        pid
+                        for pid in evaluation.counters.fully_discriminative_pids()
+                        if pid not in set(failure_pids)
+                    ]
+                    evaluation.dag = ACDag.build(
+                        defs=dict(suite.defs),
+                        failed_logs=failed_logs,
+                        failure=failure,
+                        policy=policy,
+                        candidate_pids=local_fd,
+                    )
+            return evaluation
+
+        parallel = (
+            engine is not None
+            and engine.backend.jobs > 1
+            and len(sids) > 1
+        )
+        if parallel:
+            results = engine.dispatch(evaluate_shard, sids)
+        else:
+            results = [evaluate_shard(sid) for sid in sids]
+        for evaluation in results:
+            # A process backend hands back a mutated copy; adopt it.
+            self._shards[evaluation.shard_id] = evaluation.matrix
+        return sorted(results, key=lambda ev: ev.shard_id)
+
+    def reconstruct_log(
+        self,
+        suite: PredicateSuite,
+        fingerprint: str,
+        failed: bool,
+        seed: int,
+        signature: Optional[str],
+    ) -> PredicateLog:
+        """Rebuild the :class:`PredicateLog` of a decided trace straight
+        from the bitsets — no trace load, no evaluation, no counter
+        churn.  Only valid once every (suite pid, trace) pair is decided
+        (i.e. after the trace went through :meth:`log_for`)."""
+        return self.shard_for(fingerprint).reconstruct_log(
+            suite, fingerprint, failed, seed, signature
+        )
+
+    def logs_for(
+        self,
+        suite: PredicateSuite,
+        traces: Sequence,
+        engine: Optional["ExecutionEngine"] = None,
+    ) -> list[PredicateLog]:
+        """Like :meth:`evaluate_shards` but flattened back to the input
+        trace order — the drop-in replacement for serial evaluation.
+
+        Logs are rebuilt from the bitsets rather than shipped back from
+        the workers (the matrix already crosses the process boundary;
+        the logs would double the payload)."""
+        traces = list(traces)
+        self.evaluate_shards(suite, traces, engine=engine, return_logs=False)
+        return [
+            self.reconstruct_log(
+                suite,
+                t.fingerprint,
+                failed=t.failed,
+                seed=t.seed,
+                signature=(
+                    t.failure.signature if t.failure is not None else None
+                ),
+            )
+            for t in traces
+        ]
+
+    # -- aggregate analytics ---------------------------------------------
+
+    @property
+    def pair_evaluations(self) -> int:
+        """Fresh evaluations performed through this instance."""
+        return sum(m.pair_evaluations for m in self._shards.values())
+
+    @property
+    def pair_hits(self) -> int:
+        """Memo hits answered through this instance."""
+        return sum(m.pair_hits for m in self._shards.values())
+
+    @property
+    def n_pairs(self) -> int:
+        self.load_all()
+        return sum(m.n_pairs for m in self._shards.values())
+
+    @property
+    def n_pids(self) -> int:
+        self.load_all()
+        pids: set[str] = set()
+        for m in self._shards.values():
+            pids.update(m.evaluated)
+        return len(pids)
+
+    @property
+    def n_traces(self) -> int:
+        self.load_all()
+        return sum(len(m.traces) for m in self._shards.values())
+
+    def coverage(self) -> float:
+        """Fraction of the full (pids × traces) matrix already decided."""
+        total = self.n_traces * self.n_pids
+        return self.n_pairs / total if total else 0.0
+
+    def counts(self, pid: str) -> tuple[int, int]:
+        """(true_in_failed, true_in_success) summed over all shards."""
+        self.load_all()
+        in_failed = in_success = 0
+        for m in self._shards.values():
+            f, s = m.counts(pid)
+            in_failed += f
+            in_success += s
+        return in_failed, in_success
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self) -> None:
+        """Write every loaded, non-empty shard matrix plus the top-level
+        index (the union of previously-indexed and just-saved shards).
+        A loaded shard whose every column was reclaimed loses its file
+        and its index entry — evicted traces must not resurrect."""
+        from .store import _write_json
+
+        saved = set(self.persisted_shard_ids())
+        for sid, matrix in sorted(self._shards.items()):
+            if matrix.traces:
+                matrix.save()
+                saved.add(sid)
+            else:
+                self.store.shard_matrix_path(sid).unlink(missing_ok=True)
+                saved.discard(sid)
+        _write_json(
+            self.store.matrix_index_path,
+            {"version": MATRIX_INDEX_VERSION, "shards": sorted(saved)},
+            indent=None,
+        )
+
+    # -- compaction ------------------------------------------------------
+
+    def compact(self, keep_digests: Mapping[str, str]) -> CompactionStats:
+        """Reclaim shadowed rows and evicted columns, shard by shard.
+
+        ``keep_digests`` maps each live pid to its current definition
+        digest (from the frozen suite); live columns are the store's
+        manifest entries.  Per-shard files are rewritten in place and
+        the index refreshed; returns byte-level before/after totals.
+        """
+        self.load_all()
+        rows = cols = before = after = 0
+        for sid in sorted(self._shards):
+            matrix = self._shards[sid]
+            path = self.store.shard_matrix_path(sid)
+            if path.exists():
+                before += path.stat().st_size
+            r, c = matrix.compact(
+                set(self.store.shard_entries(sid)), keep_digests
+            )
+            rows += r
+            cols += c
+        self.save()
+        for sid in sorted(self._shards):
+            path = self.store.shard_matrix_path(sid)
+            if path.exists():
+                after += path.stat().st_size
+        return CompactionStats(
+            dropped_rows=rows,
+            dropped_columns=cols,
+            bytes_before=before,
+            bytes_after=after,
+        )
+
+
+# -- resharding and migration helpers ------------------------------------
+
+
+def split_matrix(
+    matrix: EvalMatrix, shard_id: Callable[[str], str]
+) -> dict[str, EvalMatrix]:
+    """Split one matrix into per-shard matrices, preserving every
+    memoized pair (columns keep their relative order)."""
+    shards: dict[str, EvalMatrix] = {}
+    columns: dict[str, tuple[EvalMatrix, int]] = {}
+    for idx, fp in enumerate(matrix.traces):
+        shard = shards.setdefault(shard_id(fp), EvalMatrix())
+        columns[fp] = (shard, shard.column(fp, matrix.labels[idx]))
+    for source, target in (("evaluated", "evaluated"), ("observed", "observed")):
+        for pid, bits in getattr(matrix, source).items():
+            for idx, fp in enumerate(matrix.traces):
+                if bits >> idx & 1:
+                    shard, col = columns[fp]
+                    bitsets = getattr(shard, target)
+                    bitsets[pid] = bitsets.get(pid, 0) | 1 << col
+    for shard in shards.values():
+        shard.digests = dict(matrix.digests)
+    for fp, row in matrix.observations.items():
+        shard, _ = columns[fp]
+        shard.observations[fp] = {pid: list(obs) for pid, obs in row.items()}
+    return shards
+
+
+def merge_matrices(matrices: Iterable[EvalMatrix]) -> EvalMatrix:
+    """The inverse of :func:`split_matrix`: fold per-shard matrices into
+    one (columns concatenated in the given order)."""
+    merged = EvalMatrix()
+    for matrix in matrices:
+        offset: dict[int, int] = {}
+        for idx, fp in enumerate(matrix.traces):
+            offset[idx] = merged.column(fp, matrix.labels[idx])
+        for source in ("evaluated", "observed"):
+            merged_bits = getattr(merged, source)
+            for pid, bits in getattr(matrix, source).items():
+                packed = merged_bits.get(pid, 0)
+                for idx, col in offset.items():
+                    if bits >> idx & 1:
+                        packed |= 1 << col
+                merged_bits[pid] = packed
+        merged.digests.update(matrix.digests)
+        for fp, row in matrix.observations.items():
+            merged.observations[fp] = {
+                pid: list(obs) for pid, obs in row.items()
+            }
+    return merged
+
+
+def migrate_matrix_v1(
+    path: Path,
+    shard_id: Callable[[str], str],
+    shard_path: Callable[[str], Path],
+) -> None:
+    """Split a v1 single-file matrix into per-shard files plus the v2
+    index at ``path``.  Skips silently if ``path`` already holds a v2
+    index (a resumed migration)."""
+    payload = json.loads(path.read_text())
+    if payload.get("version") == MATRIX_INDEX_VERSION:
+        return
+    from .store import _write_json
+
+    matrix = EvalMatrix()
+    matrix.load(path)
+    shards = split_matrix(matrix, shard_id)
+    for sid, shard in sorted(shards.items()):
+        shard.save(shard_path(sid))
+    _write_json(
+        path,
+        {"version": MATRIX_INDEX_VERSION, "shards": sorted(shards)},
+        indent=None,
+    )

@@ -1,5 +1,7 @@
-"""Incremental analysis over a trace corpus: SD + AC-DAG under updates.
+"""Incremental, shard-parallel analysis over a trace corpus.
 
+Role
+----
 This is the incremental-view-maintenance half of the corpus subsystem
 (after Berkholz et al., *Answering FO+MOD queries under updates*): the
 discriminative-predicate set and the AC-DAG are *views* over the stored
@@ -8,23 +10,52 @@ logs, and log insertion patches them instead of recomputing.
 Lifecycle::
 
     pipeline = IncrementalPipeline(store, program=workload.program)
-    pipeline.bootstrap()        # freeze suite, evaluate via the matrix
-    pipeline.ingest(new_trace)  # store + patch counts, FD set, AC-DAG
-    pipeline.rebuild()          # the from-scratch fallback (tests assert
-                                # it equals the patched state)
+    pipeline.bootstrap(engine=...)  # freeze suite; evaluate shard-parallel
+    pipeline.ingest(new_trace)      # store + patch counts, FD set, AC-DAG
+    pipeline.rebuild()              # the from-scratch fallback (tests assert
+                                    # it equals the patched state)
 
-The predicate suite is frozen at bootstrap — extractors run once over
-the then-current corpus.  Ingested logs are evaluated against the frozen
-suite (each pair exactly once, via the eval matrix) and can only
-*shrink* the fully-discriminative set and the DAG, which is what makes
-pure patching sound.  Re-discovering predicates over a grown corpus is a
-new bootstrap.
+Shard-parallel analyze
+----------------------
+``bootstrap`` accepts an :class:`~repro.exec.engine.ExecutionEngine`:
+predicate evaluation fans out one task per corpus shard across the
+engine's backend (thread or forked process workers), each task working
+its own shard of the :class:`~repro.corpus.matrix.ShardedEvalMatrix`.
+The reduction is deterministic whatever the schedule:
+
+* per-shard **SD counters** (:class:`IncrementalDebugger`) merge by
+  plain summation, in sorted shard order;
+* **logs** reassemble into the canonical corpus order (successes then
+  failures, fingerprint-sorted) — identical to a serial walk;
+* per-shard **AC-DAGs** (each built over its shard's failed logs) merge
+  by edge intersection with summed support counters
+  (:meth:`~repro.core.acdag.ACDag.merge`) — the same patches a serial
+  ingest of those logs would have applied.
+
+Invariants
+----------
+* the predicate suite is frozen at bootstrap — extractors run once over
+  the then-current corpus, globally (never per shard: thresholds such as
+  duration envelopes depend on the whole corpus, and the frozen suite
+  must not depend on the shard layout);
+* the analysis state after ``bootstrap(engine=N-jobs)`` is bit-identical
+  to ``bootstrap()`` serial — tests assert report equality for 1 vs 8
+  jobs;
+* ingested logs are evaluated against the frozen suite (each pair at
+  most once corpus-wide, via the eval matrix) and can only *shrink* the
+  fully-discriminative set and the DAG, which is what makes pure
+  patching sound.  Re-discovering predicates over a grown corpus is a
+  new bootstrap.
+
+Persistence: ``save`` writes the store manifests and the per-shard
+matrix files (plus its index); nothing else is persisted — the DAG and
+counters rebuild from the matrix for free on the next bootstrap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TYPE_CHECKING
 
 from ..core.acdag import ACDag
 from ..core.extraction import Extractor, PredicateSuite
@@ -35,8 +66,11 @@ from ..core.statistical import (
     StatisticalDebugger,
 )
 from ..sim.program import Program
-from .matrix import EvalMatrix
+from .matrix import CompactionStats, ShardedEvalMatrix
 from .store import CorpusError, TraceStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
 
 
 @dataclass
@@ -59,69 +93,152 @@ class IncrementalPipeline:
         self,
         store: TraceStore,
         program: Optional[Program] = None,
-        matrix: Optional[EvalMatrix] = None,
+        matrix: Optional[ShardedEvalMatrix] = None,
         extractors: Optional[Sequence[Extractor]] = None,
         policy: Optional[PrecedencePolicy] = None,
+        suite: Optional[PredicateSuite] = None,
     ) -> None:
         self.store = store
         self.program = program
-        self.matrix = matrix if matrix is not None else EvalMatrix(store.matrix_path)
+        self.matrix = matrix if matrix is not None else store.eval_matrix()
         self.extractors = extractors
         self.policy = policy or default_policy()
-        # frozen at bootstrap:
-        self.suite: Optional[PredicateSuite] = None
+        # frozen at bootstrap (or injected pre-frozen: extractor
+        # discovery is skipped and shard tasks load their own traces,
+        # the steady-state freeze-once / re-analyze-many regime).  Only
+        # an *injected* suite survives re-bootstrap: a suite frozen by a
+        # previous bootstrap() is re-discovered, because its envelopes
+        # and baselines were calibrated on the then-current corpus.
+        self._injected_suite: Optional[PredicateSuite] = suite
+        self.suite: Optional[PredicateSuite] = suite
         self.failure_pid: Optional[str] = None
         self.signature: Optional[str] = None
         self.debugger = IncrementalDebugger()
-        self.logs: list[PredicateLog] = []
         self.fully: list[str] = []
         self.dag: Optional[ACDag] = None
+        self._bootstrapped = False
+        self._logs: Optional[list[PredicateLog]] = []
+        self._log_fps: list[str] = []
 
     @property
     def bootstrapped(self) -> bool:
-        return self.suite is not None
+        return self._bootstrapped
+
+    @property
+    def logs(self) -> list[PredicateLog]:
+        """The analysis logs, in canonical corpus order.
+
+        Shard tasks do not ship logs back to the parent (the matrix
+        already holds every observation); the list materializes from
+        the bitsets on first access and is then owned by the pipeline
+        (``ingest`` appends to it).
+        """
+        if self._logs is None:
+            entries = self.store.entries
+            self._logs = [
+                self.matrix.reconstruct_log(
+                    self.suite,
+                    fp,
+                    failed=entries[fp].failed,
+                    seed=entries[fp].seed,
+                    signature=entries[fp].signature,
+                )
+                for fp in self._log_fps
+            ]
+        return self._logs
 
     # -- bootstrap -------------------------------------------------------
 
-    def bootstrap(self) -> None:
+    def bootstrap(self, engine: Optional["ExecutionEngine"] = None) -> None:
         """Freeze the predicate suite over the current corpus and build
-        every maintained view (all evaluation goes through the matrix, so
-        a warm restart performs zero fresh evaluations)."""
-        corpus = self.store.labeled_corpus()
-        if not corpus.failures:
+        every maintained view.
+
+        All evaluation goes through the sharded matrix, so a warm
+        restart performs zero fresh evaluations; with an ``engine``,
+        evaluation and DAG construction fan out one task per shard and
+        merge deterministically (identical state for any job count).
+        """
+        if not any(e.failed for e in self.store.entries.values()):
             raise CorpusError("corpus has no failed traces to analyze")
-        if not corpus.successes:
+        if all(e.failed for e in self.store.entries.values()):
             raise CorpusError("corpus has no successful traces to analyze")
-        self.signature = corpus.dominant_failure_signature()
-        corpus = corpus.restrict_failures(self.signature)
-        self.suite = PredicateSuite.discover(
-            corpus.successes,
-            corpus.failures,
-            extractors=self.extractors,
-            program=self.program,
-        )
-        self.logs = [
-            self.matrix.log_for(self.suite, t)
-            for t in corpus.successes + corpus.failures
-        ]
+        self.signature = self.store.dominant_failure_signature()
+        self.suite = self._injected_suite
+        if self.suite is None:
+            # Discovery is global by construction (duration envelopes
+            # and order baselines span the whole corpus), so the parent
+            # loads every trace and extractors run once, serially.
+            corpus = self.store.labeled_corpus().restrict_failures(
+                self.signature
+            )
+            self.suite = PredicateSuite.discover(
+                corpus.successes,
+                corpus.failures,
+                extractors=self.extractors,
+                program=self.program,
+            )
+            fingerprints = [
+                t.fingerprint for t in corpus.successes + corpus.failures
+            ]
+            evaluations = self.matrix.evaluate_shards(
+                self.suite,
+                corpus.successes + corpus.failures,
+                engine=engine,
+                return_logs=False,
+                build_dags=True,
+                policy=self.policy,
+            )
+        else:
+            # Pre-frozen suite: nothing global needs the trace bodies,
+            # so shard tasks load their own traces — deserialization
+            # parallelizes along with evaluation and DAG construction.
+            # Same canonical order as a labeled_corpus walk: successes
+            # then on-signature failures, each fingerprint-sorted.
+            ordered = sorted(self.store.entries.items())
+            fingerprints = [
+                fp for fp, e in ordered if not e.failed
+            ] + [
+                fp
+                for fp, e in ordered
+                if e.failed and e.signature == self.signature
+            ]
+            evaluations = self.matrix.evaluate_fingerprints(
+                self.suite,
+                fingerprints,
+                engine=engine,
+                return_logs=False,
+                build_dags=True,
+                policy=self.policy,
+            )
+        # Logs stay in the workers; the canonical-order list (successes
+        # then failures, fingerprint-sorted — independent of how shards
+        # were scheduled) materializes lazily from the matrix bitsets.
+        self._log_fps = fingerprints
+        self._logs = None
         self.debugger = IncrementalDebugger()
-        self.debugger.extend(self.logs)
+        for evaluation in evaluations:  # sorted shard order
+            self.debugger.merge(evaluation.counters)
         failure_pids = [
             pid
             for pid in self.suite.failure_pids()
-            if any(log.observed(pid) for log in self.logs if log.failed)
+            if self.debugger.counts.get(pid, (0, 0))[0]
         ]
         if not failure_pids:
             raise CorpusError("no failure predicate was extracted")
         self.failure_pid = failure_pids[0]
         self.fully = self._derive_fully()
-        self.dag = ACDag.build(
-            defs=dict(self.suite.defs),
-            failed_logs=[log for log in self.logs if log.failed],
-            failure=self.failure_pid,
-            policy=self.policy,
-            candidate_pids=self.fully,
-        )
+        dags = [ev.dag for ev in evaluations if ev.dag is not None]
+        if not dags:
+            raise CorpusError("corpus has no failed traces to analyze")
+        # Each shard built its partial DAG over its own failed logs;
+        # the merge (edge intersection, summed supports, re-applied
+        # ancestors-of-F filter) equals one build over all failed logs —
+        # after restricting to the *global* FD set, because a shard
+        # holding only successes contributes no partial DAG yet can
+        # still break another shard's local candidates' precision.
+        self.dag = ACDag.merge(dags)
+        self.dag.restrict_to(set(self.fully) | {self.failure_pid})
+        self._bootstrapped = True
 
     def _derive_fully(self) -> list[str]:
         failure_pids = set(self.suite.failure_pids())
@@ -204,9 +321,22 @@ class IncrementalPipeline:
             candidate_pids=fully,
         )
 
+    # -- compaction ------------------------------------------------------
+
+    def compact(self) -> CompactionStats:
+        """Reclaim matrix rows shadowed by predicate drift and columns of
+        evicted traces (the bootstrapped suite defines what is live)."""
+        if not self.bootstrapped:
+            raise CorpusError("bootstrap() the pipeline before compacting")
+        keep_digests = {
+            pid: pred.definition_digest()
+            for pid, pred in self.suite.defs.items()
+        }
+        return self.matrix.compact(keep_digests)
+
     # -- persistence -----------------------------------------------------
 
     def save(self) -> None:
-        """Persist the store manifest and the evaluation matrix."""
+        """Persist the store manifests and the sharded evaluation matrix."""
         self.store.save()
         self.matrix.save()

@@ -1,12 +1,30 @@
 """Corpus-backed debugging sessions.
 
+Role
+----
 :class:`CorpusSession` is an :class:`~repro.harness.session.AIDSession`
 whose learning phase reads from a :class:`~repro.corpus.store.TraceStore`
 instead of re-running the workload: stored traces stand in for the
 collection sweep, and predicate evaluation routes through the persistent
-:class:`~repro.corpus.matrix.EvalMatrix`, so a warm corpus re-evaluates
-zero already-seen (predicate, trace) pairs.  The intervention phase is
-unchanged — interventions are re-executions and need the live program.
+:class:`~repro.corpus.matrix.ShardedEvalMatrix`.  The intervention phase
+is unchanged — interventions are re-executions and need the live
+program.
+
+Invariants
+----------
+* a warm corpus re-evaluates **zero** already-seen (predicate, trace)
+  pairs — every decided pair is answered from the per-shard bitsets;
+* when the session's :class:`~repro.harness.session.SessionConfig`
+  carries an execution engine with more than one job, evaluation fans
+  out one task per corpus shard across that engine's backend, with
+  results identical to the serial walk (see
+  :meth:`ShardedEvalMatrix.evaluate_shards`);
+* intervention outcomes are memoized under a corpus-content key, so two
+  sessions over the same stored traces share outcomes no matter how
+  the corpus was assembled.
+
+Persistence: ``save`` writes the store manifests and the per-shard
+matrix files (plus the top-level matrix index).
 """
 
 from __future__ import annotations
@@ -16,7 +34,7 @@ from typing import Optional
 from ..core.statistical import PredicateLog
 from ..harness.session import AIDSession, SessionConfig
 from ..sim.program import Program
-from .matrix import EvalMatrix
+from .matrix import ShardedEvalMatrix
 from .store import CorpusError, TraceStore
 
 
@@ -28,7 +46,7 @@ class CorpusSession(AIDSession):
         program: Program,
         store: TraceStore,
         config: Optional[SessionConfig] = None,
-        matrix: Optional[EvalMatrix] = None,
+        matrix: Optional[ShardedEvalMatrix] = None,
     ) -> None:
         if store.program is not None and store.program != program.name:
             raise CorpusError(
@@ -37,7 +55,7 @@ class CorpusSession(AIDSession):
             )
         super().__init__(program, config=config)
         self.store = store
-        self.matrix = matrix if matrix is not None else EvalMatrix(store.matrix_path)
+        self.matrix = matrix if matrix is not None else store.eval_matrix()
 
     def collect(self):
         """Stage 1 from the store: no executions, just loads."""
@@ -54,7 +72,11 @@ class CorpusSession(AIDSession):
         return self._corpus
 
     def _evaluate_logs(self, traces) -> list[PredicateLog]:
-        return [self.matrix.log_for(self._suite, t) for t in traces]
+        """Evaluate through the sharded memo, shard-parallel when the
+        session's engine has workers to offer."""
+        return self.matrix.logs_for(
+            self._suite, traces, engine=self.config.engine
+        )
 
     def _workload_key(self) -> str:
         """Outcome-cache namespace for corpus-backed runs.
@@ -78,6 +100,6 @@ class CorpusSession(AIDSession):
         return key
 
     def save(self) -> None:
-        """Persist the evaluation matrix (and the store manifest)."""
+        """Persist the sharded evaluation matrix and the store manifests."""
         self.store.save()
         self.matrix.save()

@@ -1,20 +1,57 @@
-"""The content-addressed, on-disk trace store.
+"""The content-addressed, on-disk trace store — sharded by fingerprint.
 
+Role
+----
 The paper's offline phase (Appendix A) assumes a corpus of labeled
 execution logs collected once and re-analyzed many times.  This module
 is that corpus made durable: each trace is serialized via
-:mod:`repro.sim.serialize` and stored under its content fingerprint
-(``traces/<fp>.json``), so ingesting the same execution twice stores it
-once, and a manifest records labels, seeds, and failure signatures so
-analyses can plan without touching trace bodies.
+:mod:`repro.sim.serialize` and stored under its content fingerprint, so
+ingesting the same execution twice stores it once, and manifests record
+labels, seeds, and failure signatures so analyses can plan without
+touching trace bodies.
 
-Layout of a corpus directory::
+Persistence format (v2, sharded)
+--------------------------------
+Traces are bucketed by a hex prefix of their fingerprint (the *shard
+id*), so no directory and no JSON file ever has to hold the whole
+corpus, and shards are the unit of parallel analysis::
 
     DIR/
-      manifest.json       label/seed/signature per fingerprint + metadata
-      traces/<fp>.json    one serialized trace each (content-addressed)
-      evalmatrix.json     the persisted predicate-evaluation memo
-                          (written by :mod:`repro.corpus.matrix`)
+      manifest.json                 top-level index: version, program,
+                                    shard_width, populated shard ids
+      evalmatrix.json               eval-matrix index (written by
+                                    repro.corpus.matrix: version + the
+                                    shards holding bitset files)
+      shards/<sid>/
+        manifest.json               label/seed/signature per fingerprint
+        traces/<fp>.json            one serialized trace each
+        evalmatrix.json             this shard's predicate-evaluation
+                                    memo (v1 single-matrix format)
+
+``shard_width`` is the number of hex characters of the fingerprint used
+as the shard id (default 2 → up to 256 shards); width 0 disables
+sharding (a single ``shards/all/`` bucket).  The width is fixed at
+``init`` and recorded in the top-level manifest.
+
+Invariants
+----------
+* a fingerprint appears in at most one shard, and always in the shard
+  its prefix names;
+* the top-level manifest's shard list equals the set of non-empty
+  shards, so ``open`` never scans the filesystem;
+* ``save`` rewrites only shards dirtied since the last save (plus the
+  top-level manifest), each atomically (temp file + rename).
+
+Migration
+---------
+Version-1 corpora (flat ``traces/`` + one ``manifest.json`` + one
+``evalmatrix.json``) are migrated **in place and transparently** on
+:meth:`TraceStore.open`: trace bodies are renamed into their shards, the
+manifest is split, and the single eval matrix is split into per-shard
+bitset files — preserving every memoized (predicate, trace) pair, so the
+first post-migration analysis performs zero re-evaluations.  The
+migration is idempotent: a crash mid-way leaves a state a later ``open``
+finishes from.
 """
 
 from __future__ import annotations
@@ -23,7 +60,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from ..harness.runner import LabeledCorpus
 from ..sim.serialize import (
@@ -33,10 +70,17 @@ from ..sim.serialize import (
     trace_to_dict,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .matrix import ShardedEvalMatrix
+
 MANIFEST_NAME = "manifest.json"
 MATRIX_NAME = "evalmatrix.json"
 TRACES_DIR = "traces"
-STORE_VERSION = 1
+SHARDS_DIR = "shards"
+STORE_VERSION = 2
+DEFAULT_SHARD_WIDTH = 2
+#: shard id used when sharding is disabled (width 0)
+SINGLE_SHARD_ID = "all"
 
 
 class CorpusError(RuntimeError):
@@ -56,35 +100,67 @@ class TraceEntry:
     def failed(self) -> bool:
         return self.label == "fail"
 
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "seed": self.seed,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_dict(cls, fingerprint: str, raw: dict) -> "TraceEntry":
+        return cls(
+            fingerprint=fingerprint,
+            label=raw["label"],
+            seed=raw["seed"],
+            signature=raw.get("signature"),
+        )
+
+
+def _write_json(path: Path, payload: dict, indent: Optional[int] = 2) -> None:
+    """Atomic JSON write: temp file in the same directory + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(payload, indent=indent, sort_keys=True))
+    tmp.replace(path)
+
 
 class TraceStore:
-    """A persistent, deduplicating corpus of execution traces."""
+    """A persistent, deduplicating, sharded corpus of execution traces."""
 
-    def __init__(self, root: str | os.PathLike, manifest: dict) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        program: Optional[str] = None,
+        shard_width: int = DEFAULT_SHARD_WIDTH,
+        entries: Optional[dict[str, TraceEntry]] = None,
+    ) -> None:
         self.root = Path(root)
-        self._program: Optional[str] = manifest.get("program")
-        self.entries: dict[str, TraceEntry] = {
-            fp: TraceEntry(
-                fingerprint=fp,
-                label=raw["label"],
-                seed=raw["seed"],
-                signature=raw.get("signature"),
-            )
-            for fp, raw in manifest.get("traces", {}).items()
-        }
+        self._program = program
+        self.shard_width = shard_width
+        self.entries: dict[str, TraceEntry] = dict(entries or {})
+        #: shard ids whose manifest must be rewritten on the next save
+        self._dirty: set[str] = set()
 
     # -- lifecycle -------------------------------------------------------
 
     @classmethod
     def init(
-        cls, root: str | os.PathLike, program: Optional[str] = None
+        cls,
+        root: str | os.PathLike,
+        program: Optional[str] = None,
+        shard_width: int = DEFAULT_SHARD_WIDTH,
     ) -> "TraceStore":
         """Create a fresh corpus directory (refuses to clobber one)."""
         root = Path(root)
         if (root / MANIFEST_NAME).exists():
             raise CorpusError(f"{root} already holds a corpus")
-        (root / TRACES_DIR).mkdir(parents=True, exist_ok=True)
-        store = cls(root, {"program": program})
+        if not 0 <= shard_width <= 4:
+            raise CorpusError(
+                f"shard_width must be between 0 and 4, got {shard_width}"
+            )
+        (root / SHARDS_DIR).mkdir(parents=True, exist_ok=True)
+        store = cls(root, program=program, shard_width=shard_width)
         store.save()
         return store
 
@@ -99,32 +175,55 @@ class TraceStore:
         except json.JSONDecodeError as exc:
             raise CorpusError(f"{path} is unreadable: {exc}") from exc
         version = manifest.get("version")
-        if version != STORE_VERSION:
+        if version == 1:
+            manifest = _migrate_v1(root, manifest)
+        elif version != STORE_VERSION:
             raise CorpusError(
                 f"unsupported corpus version {version!r} in {path}"
             )
-        return cls(root, manifest)
+        shard_width = manifest.get("shard_width", DEFAULT_SHARD_WIDTH)
+        entries: dict[str, TraceEntry] = {}
+        for sid in manifest.get("shards", []):
+            shard_manifest = root / SHARDS_DIR / sid / MANIFEST_NAME
+            if not shard_manifest.exists():
+                raise CorpusError(
+                    f"top-level manifest lists shard {sid!r} but "
+                    f"{shard_manifest} is gone"
+                )
+            raw = json.loads(shard_manifest.read_text())
+            for fp, row in raw.get("traces", {}).items():
+                entries[fp] = TraceEntry.from_dict(fp, row)
+        return cls(
+            root,
+            program=manifest.get("program"),
+            shard_width=shard_width,
+            entries=entries,
+        )
 
     def save(self) -> None:
-        """Write the manifest (atomically: temp file + rename)."""
-        payload = {
-            "version": STORE_VERSION,
-            "program": self._program,
-            "traces": {
-                fp: {
-                    "label": e.label,
-                    "seed": e.seed,
-                    "signature": e.signature,
-                }
-                for fp, e in sorted(self.entries.items())
+        """Write dirty shard manifests plus the top-level index, each
+        atomically (temp file + rename)."""
+        by_shard: dict[str, dict[str, TraceEntry]] = {}
+        for fp, entry in self.entries.items():
+            by_shard.setdefault(self.shard_id(fp), {})[fp] = entry
+        for sid in sorted(self._dirty):
+            rows = by_shard.get(sid, {})
+            _write_json(
+                self.shard_dir(sid) / MANIFEST_NAME,
+                {"traces": {fp: e.to_dict() for fp, e in sorted(rows.items())}},
+            )
+        _write_json(
+            self.root / MANIFEST_NAME,
+            {
+                "version": STORE_VERSION,
+                "program": self._program,
+                "shard_width": self.shard_width,
+                "shards": sorted(by_shard),
             },
-        }
-        path = self.root / MANIFEST_NAME
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
-        tmp.replace(path)
+        )
+        self._dirty.clear()
 
-    # -- identity --------------------------------------------------------
+    # -- identity and layout ---------------------------------------------
 
     @property
     def program(self) -> Optional[str]:
@@ -132,12 +231,41 @@ class TraceStore:
         init or by the first ingested trace)."""
         return self._program
 
+    def shard_id(self, fingerprint: str) -> str:
+        """The shard a fingerprint belongs to (its hex prefix)."""
+        if self.shard_width == 0:
+            return SINGLE_SHARD_ID
+        return fingerprint[: self.shard_width]
+
     @property
-    def matrix_path(self) -> Path:
+    def shard_ids(self) -> list[str]:
+        """Sorted ids of the non-empty shards."""
+        return sorted({self.shard_id(fp) for fp in self.entries})
+
+    def shard_dir(self, shard_id: str) -> Path:
+        return self.root / SHARDS_DIR / shard_id
+
+    def shard_matrix_path(self, shard_id: str) -> Path:
+        """Where this shard's eval-matrix bitset file lives."""
+        return self.shard_dir(shard_id) / MATRIX_NAME
+
+    @property
+    def matrix_index_path(self) -> Path:
+        """The top-level eval-matrix index (see repro.corpus.matrix)."""
         return self.root / MATRIX_NAME
 
     def trace_path(self, fingerprint: str) -> Path:
-        return self.root / TRACES_DIR / f"{fingerprint}.json"
+        return (
+            self.shard_dir(self.shard_id(fingerprint))
+            / TRACES_DIR
+            / f"{fingerprint}.json"
+        )
+
+    def eval_matrix(self) -> "ShardedEvalMatrix":
+        """The persistent predicate-evaluation memo over this store."""
+        from .matrix import ShardedEvalMatrix
+
+        return ShardedEvalMatrix(self)
 
     # -- ingestion -------------------------------------------------------
 
@@ -147,7 +275,7 @@ class TraceStore:
         Dedup is content-addressed: the fingerprint is the stable digest
         of the serialized trace, so re-ingesting an identical execution
         is a no-op.  Call :meth:`save` after a batch to persist the
-        manifest.
+        manifests.
         """
         payload = trace_to_dict(trace)
         return self.ingest_payload(payload)
@@ -178,7 +306,22 @@ class TraceStore:
                 trace.failure.signature if trace.failure is not None else None
             ),
         )
+        self._dirty.add(self.shard_id(fp))
         return fp, True
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one trace from the manifest and delete its body.
+
+        Returns whether anything was evicted.  The eval matrix keeps the
+        trace's memoized column until ``repro corpus compact`` reclaims
+        it (see :meth:`~repro.corpus.matrix.ShardedEvalMatrix.compact`).
+        """
+        entry = self.entries.pop(fingerprint, None)
+        if entry is None:
+            return False
+        self.trace_path(fingerprint).unlink(missing_ok=True)
+        self._dirty.add(self.shard_id(fingerprint))
+        return True
 
     # -- retrieval -------------------------------------------------------
 
@@ -194,7 +337,7 @@ class TraceStore:
         )
 
     def traces(self, label: Optional[str] = None) -> Iterator[ImportedTrace]:
-        """All stored traces (optionally one label), manifest order."""
+        """All stored traces (optionally one label), fingerprint order."""
         for fp, entry in sorted(self.entries.items()):
             if label is None or entry.label == label:
                 yield self.load(fp)
@@ -223,6 +366,14 @@ class TraceStore:
     def __contains__(self, fingerprint: str) -> bool:
         return fingerprint in self.entries
 
+    def shard_entries(self, shard_id: str) -> dict[str, TraceEntry]:
+        """Manifest rows belonging to one shard."""
+        return {
+            fp: e
+            for fp, e in self.entries.items()
+            if self.shard_id(fp) == shard_id
+        }
+
     def signature_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
         for e in self.entries.values():
@@ -235,3 +386,61 @@ class TraceStore:
         if not counts:
             return None
         return max(sorted(counts), key=lambda s: counts[s])
+
+
+def _migrate_v1(root: Path, manifest: dict) -> dict:
+    """Migrate a v1 (flat) corpus directory to the v2 sharded layout.
+
+    Idempotent and crash-tolerant: trace bodies are renamed one by one
+    (skipping ones already in place), shard manifests and matrix files
+    are written before the top-level manifest, and the v2 top-level
+    manifest write is the commit point — until then a re-``open`` sees
+    version 1 and resumes the migration.
+    """
+    width = DEFAULT_SHARD_WIDTH
+    rows = manifest.get("traces", {})
+    by_shard: dict[str, dict[str, dict]] = {}
+    for fp, row in rows.items():
+        sid = fp[:width] if width else SINGLE_SHARD_ID
+        by_shard.setdefault(sid, {})[fp] = row
+        src = root / TRACES_DIR / f"{fp}.json"
+        dst = root / SHARDS_DIR / sid / TRACES_DIR / f"{fp}.json"
+        if src.exists():
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            src.replace(dst)
+        elif not dst.exists():
+            raise CorpusError(
+                f"cannot migrate {root}: manifest lists {fp} but "
+                f"{src} is gone"
+            )
+    for sid, shard_rows in by_shard.items():
+        _write_json(
+            root / SHARDS_DIR / sid / MANIFEST_NAME,
+            {"traces": dict(sorted(shard_rows.items()))},
+        )
+
+    # Split the single v1 eval matrix into per-shard bitset files,
+    # preserving every memoized pair (zero re-evaluations afterwards).
+    matrix_path = root / MATRIX_NAME
+    if matrix_path.exists():
+        from .matrix import migrate_matrix_v1
+
+        migrate_matrix_v1(
+            matrix_path,
+            shard_id=lambda fp: fp[:width] if width else SINGLE_SHARD_ID,
+            shard_path=lambda sid: root / SHARDS_DIR / sid / MATRIX_NAME,
+        )
+
+    migrated = {
+        "version": STORE_VERSION,
+        "program": manifest.get("program"),
+        "shard_width": width,
+        "shards": sorted(by_shard),
+    }
+    _write_json(root / MANIFEST_NAME, migrated)
+
+    # Best-effort cleanup of the now-empty v1 trace directory.
+    old_traces = root / TRACES_DIR
+    if old_traces.is_dir() and not any(old_traces.iterdir()):
+        old_traces.rmdir()
+    return migrated

@@ -6,8 +6,11 @@ accounting decision lives in one place (:mod:`repro.exec.engine`) and is
 provably identical across serial, threaded, and multi-process execution.
 
 Backends never see pids, seeds, or outcomes; they only run callables.
-Determinism therefore reduces to one property, which all three
-implementations share: ``map(fn, items)[i] == fn(items[i])``.
+Determinism therefore reduces to one property — the module's single
+invariant, which all three implementations share and every consumer
+(intervention waves, corpus shard fan-out) relies on:
+``map(fn, items)[i] == fn(items[i])``.  Backends hold no durable
+state; nothing here persists.
 
 Choosing a backend
 ------------------

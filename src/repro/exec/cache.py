@@ -20,6 +20,12 @@ The cache key deliberately excludes the pipeline configuration
 (extractors, precedence policy, corpus quotas); the ``workload`` string
 must encode whatever distinguishes two incompatible suites.  Runners in
 this repo embed program name, corpus quotas, and step budget.
+
+Persistence format: one JSON file —
+``{"version": 1, "entries": [{"workload", "seed", "pids": [...],
+"outcome": {"observed": [...], "failed", "seed"}}, ...]}`` — entries
+sorted by key for reproducible diffs; unknown versions are rejected,
+and loading merges into (never clobbers) the in-memory table.
 """
 
 from __future__ import annotations

@@ -25,6 +25,21 @@ needs:
 
 With :class:`~repro.exec.backends.SerialBackend` both shapes reduce to
 the historical in-line loops — bit-identical results, zero speculation.
+
+Invariants
+----------
+* results are a pure function of the requests: backend choice and job
+  count affect wall-clock time only (``run_group`` returns exactly the
+  serial walk's early-stop prefix; speculative outcomes are cached but
+  never returned);
+* only the parent mutates the cache — workers read a (possibly
+  fork-snapshotted) view and hand outcomes back;
+* :meth:`ExecutionEngine.dispatch` is the generic timed fan-out other
+  subsystems reuse (the corpus layer ships one analysis task per shard
+  through it); it inherits the same order-preservation guarantee.
+
+Persistence: none here — the engine's only durable state is the
+outcome cache (see :mod:`repro.exec.cache`), written on ``flush``.
 """
 
 from __future__ import annotations

@@ -2,10 +2,16 @@
 
 One :class:`ExecStats` instance accumulates over an engine's lifetime —
 a single ``debug`` command, a whole ``figure7`` sweep — so its report
-answers the questions the tentpole cares about: how many simulator runs
-actually executed, how many were answered from cache, and how much
-wall time the backend dispatches took versus their serial-equivalent
-cost (the summed per-run durations).
+answers: how many simulator runs actually executed, how many were
+answered from cache, and how much wall time the backend dispatches
+took versus their serial-equivalent cost (the summed per-run
+durations).
+
+Invariants: counters only increase; ``total_runs = executed + cached``
+counts what the algorithms *asked for* (speculative early-stop
+overshoot is executed-and-cached but never requested); ``speedup`` is
+serial-equivalent time over wall time, ≈1.0 on the serial backend.
+Nothing here persists — stats die with the engine.
 """
 
 from __future__ import annotations

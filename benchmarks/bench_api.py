@@ -1,0 +1,109 @@
+"""API front-door overhead: ``repro.run(spec)`` vs a direct session.
+
+The declarative layer must be free: ``repro.run`` builds the same
+session the legacy entry point builds, so the only added cost is spec
+validation, engine construction, and event plumbing.  This benchmark
+times both paths on an identical configuration, asserts the reports
+are **byte-identical** under the versioned JSON schema, and records
+the overhead ratio (expected ≈1.0x).
+
+The result lands in ``BENCH_api.json``::
+
+    {
+      "legacy":   {"mean_seconds": ..., "best_seconds": ...},
+      "api":      {"mean_seconds": ..., "best_seconds": ...},
+      "overhead": <api best / legacy best>,
+      "reports_identical": true,
+      "report_schema": 1,
+      "report": { ... the versioned report payload ... }
+    }
+
+Run:  PYTHONPATH=src python benchmarks/bench_api.py
+Env:  REPRO_BENCH_WORKLOAD / REPRO_BENCH_RUNS / REPRO_BENCH_ROUNDS
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import CollectionSpec, RunSpec, WorkloadSpec, run  # noqa: E402
+from repro.core.report import (  # noqa: E402
+    REPORT_SCHEMA_VERSION,
+    validate_report_dict,
+)
+from repro.harness.session import AIDSession, SessionConfig  # noqa: E402
+from repro.workloads.common import REGISTRY  # noqa: E402
+
+WORKLOAD = os.environ.get("REPRO_BENCH_WORKLOAD", "network")
+RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "25"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+
+
+def main() -> int:
+    program = REGISTRY.build(WORKLOAD).program
+    spec = RunSpec(
+        workload=WorkloadSpec(WORKLOAD),
+        collection=CollectionSpec(n_success=RUNS, n_fail=RUNS),
+    )
+
+    legacy_timings, api_timings = [], []
+    legacy_payload = api_payload = None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        legacy_report = AIDSession(
+            program, SessionConfig(n_success=RUNS, n_fail=RUNS)
+        ).run("AID")
+        legacy_timings.append(time.perf_counter() - started)
+        legacy_payload = legacy_report.to_dict()
+
+        started = time.perf_counter()
+        api_report = run(RunSpec.from_dict(spec.to_dict()))
+        api_timings.append(time.perf_counter() - started)
+        api_payload = api_report.to_dict()
+
+    identical = json.dumps(legacy_payload, sort_keys=True) == json.dumps(
+        api_payload, sort_keys=True
+    )
+    assert identical, "api front door diverged from the legacy session"
+    problems = validate_report_dict(api_payload)
+    assert not problems, f"report violates the schema: {problems}"
+
+    def summary(timings: list[float]) -> dict:
+        return {
+            "rounds": len(timings),
+            "mean_seconds": sum(timings) / len(timings),
+            "best_seconds": min(timings),
+        }
+
+    legacy, api = summary(legacy_timings), summary(api_timings)
+    payload = {
+        "workload": WORKLOAD,
+        "runs_per_label": RUNS,
+        "legacy": legacy,
+        "api": api,
+        "overhead": api["best_seconds"] / legacy["best_seconds"],
+        "reports_identical": identical,
+        "report_schema": REPORT_SCHEMA_VERSION,
+        "report": api_payload,
+    }
+    out = Path("BENCH_api.json")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    print(
+        f"{WORKLOAD!r} ({RUNS}+{RUNS} traces), {ROUNDS} round(s): "
+        f"legacy best {legacy['best_seconds']:.3f}s, "
+        f"api best {api['best_seconds']:.3f}s "
+        f"({payload['overhead']:.2f}x; reports byte-identical: {identical})"
+    )
+    print(f"wrote {out.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Validate a ``repro run --json`` payload against the report schema.
+
+CI's smoke test pipes the CLI's JSON output through this: the emitted
+report must parse and satisfy the versioned schema
+(:data:`repro.core.report.REPORT_SCHEMA_VERSION`), so the schema can
+never drift from what the CLI actually prints.
+
+Usage:  PYTHONPATH=src python scripts/validate_report.py report.json
+        repro run spec.toml --json | python scripts/validate_report.py -
+Exit status: 0 when the payload is a valid report, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.report import (  # noqa: E402
+    REPORT_SCHEMA_VERSION,
+    validate_report_dict,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: validate_report.py <report.json | ->", file=sys.stderr)
+        return 1
+    text = (
+        sys.stdin.read() if argv[0] == "-" else Path(argv[0]).read_text()
+    )
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"not valid JSON: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_report_dict(payload)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    label = argv[0] if argv[0] != "-" else "stdin"
+    print(
+        f"{label}: "
+        + (
+            f"valid version-{REPORT_SCHEMA_VERSION} report "
+            f"(kind {payload.get('kind')!r}, "
+            f"program {payload.get('program')!r})"
+            if not problems
+            else f"{len(problems)} problem(s)"
+        )
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,15 +22,21 @@ including every substrate the paper depends on:
   content-addressed dedup, a bitset-backed predicate-evaluation memo,
   and incremental SD + AC-DAG maintenance under log ingestion;
 * ``repro.harness`` — corpus collection, end-to-end sessions, and the
-  drivers that regenerate every table and figure of the evaluation.
+  drivers that regenerate every table and figure of the evaluation;
+* ``repro.api`` — the declarative front door: serializable
+  :class:`RunSpec` configs, plugin registries, the observer/event
+  protocol, and ``repro.run(spec)`` returning a report with a
+  versioned JSON schema.
 
 Quickstart::
 
     import repro
 
-    workload = repro.load_workload("npgsql")
-    report = repro.debug(workload.program)
+    report = repro.run(repro.RunSpec(workload=repro.WorkloadSpec("npgsql")))
     print(report.explanation.render())
+
+    # or, imperatively:
+    report = repro.debug(repro.load_workload("npgsql").program)
 """
 
 from .exec import (
@@ -72,13 +78,45 @@ from .harness import (
 )
 from .sim import Program, SimContext, Simulator, run_program
 from .workloads import REGISTRY, Workload, generate_app
+from .api import (  # noqa: E402 — must follow the subsystem imports
+    AnalysisSpec,
+    CollectionSpec,
+    CorpusSpec,
+    EngineSpec,
+    EventBus,
+    EventLog,
+    Observer,
+    REPORT_SCHEMA_VERSION,
+    Registry,
+    RegistryError,
+    RunSpec,
+    SpecError,
+    WorkloadSpec,
+    run,
+    validate_report_dict,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ACDag",
     "AIDSession",
+    "AnalysisSpec",
     "Approach",
+    "CollectionSpec",
+    "CorpusSpec",
+    "EngineSpec",
+    "EventBus",
+    "EventLog",
+    "Observer",
+    "REPORT_SCHEMA_VERSION",
+    "Registry",
+    "RegistryError",
+    "RunSpec",
+    "SpecError",
+    "WorkloadSpec",
+    "run",
+    "validate_report_dict",
     "CorpusSession",
     "DiscoveryResult",
     "EvalMatrix",

@@ -1,0 +1,217 @@
+"""The observer/event protocol: one seam for progress, logging, services.
+
+Role
+----
+Every phase of the paper's workflow — trace collection, predicate
+evaluation, intervention rounds, AC-DAG maintenance — emits a typed
+:class:`Event` onto an :class:`EventBus`.  Anything that wants to watch
+a run (a CLI progress line, a test asserting phase ordering, the future
+``corpus serve`` ingestion service pushing status over a socket)
+subscribes an :class:`Observer` and receives events in emission order,
+synchronously, on the emitting thread.
+
+Invariants
+----------
+* observers never influence results: emission happens *after* the state
+  change it describes, and event payloads are read-only snapshots —
+  a run with zero observers is byte-identical to a run with many;
+* events of one run arrive in a fixed phase order (asserted in tests):
+  ``run-started`` → collection/corpus events → ``suite-frozen`` →
+  ``logs-evaluated`` → ``dag-built`` → ``intervention-round``* →
+  ``engine-finished`` → ``run-finished``;
+* this module depends on nothing inside :mod:`repro`, so any subsystem
+  (``exec``, ``harness``, ``corpus``) can emit without import cycles.
+
+Persistence: none — events are ephemeral; durable reporting is the
+job of :meth:`~repro.harness.session.SessionReport.to_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, ClassVar, Optional, Protocol, Union, runtime_checkable
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class: every event carries a stable ``kind`` string."""
+
+    kind: ClassVar[str] = "event"
+
+
+@dataclass(frozen=True)
+class RunStarted(Event):
+    """``repro.api.run`` accepted a spec and is about to dispatch."""
+
+    kind: ClassVar[str] = "run-started"
+    program: Optional[str]
+    mode: str  # "live" | "corpus" | "incremental"
+    approach: Optional[str]
+
+
+@dataclass(frozen=True)
+class CollectionStarted(Event):
+    """The live seed sweep is about to run (live sessions only)."""
+
+    kind: ClassVar[str] = "collection-started"
+    program: str
+    n_success: int
+    n_fail: int
+
+
+@dataclass(frozen=True)
+class CollectionFinished(Event):
+    """Labeled traces are in hand, restricted to one failure signature."""
+
+    kind: ClassVar[str] = "collection-finished"
+    n_success: int
+    n_fail: int
+    signature: Optional[str]
+
+
+@dataclass(frozen=True)
+class CorpusLoaded(Event):
+    """A stored corpus stands in for the collection sweep."""
+
+    kind: ClassVar[str] = "corpus-loaded"
+    n_traces: int
+    n_pass: int
+    n_fail: int
+
+
+@dataclass(frozen=True)
+class SuiteFrozen(Event):
+    """The predicate suite is fixed for the rest of the run."""
+
+    kind: ClassVar[str] = "suite-frozen"
+    n_predicates: int
+    #: "discovered" (extractors ran), "persisted" (loaded from the
+    #: corpus, keyed by content digest), or "injected" (caller-supplied)
+    source: str = "discovered"
+
+
+@dataclass(frozen=True)
+class LogsEvaluated(Event):
+    """The frozen suite was evaluated over the analysis traces."""
+
+    kind: ClassVar[str] = "logs-evaluated"
+    n_logs: int
+    #: fresh ``PredicateDef.evaluate`` calls vs pairs answered from a
+    #: persistent eval matrix (both 0/None for plain live evaluation)
+    fresh: Optional[int] = None
+    memoized: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class DagBuilt(Event):
+    """The AC-DAG over the fully-discriminative predicates is ready."""
+
+    kind: ClassVar[str] = "dag-built"
+    n_nodes: int
+    n_edges: int
+
+
+@dataclass(frozen=True)
+class InterventionRound(Event):
+    """One adaptive group-intervention round was dispatched."""
+
+    kind: ClassVar[str] = "intervention-round"
+    phase: str  # "branch" | "giwp" | ...
+    index: int  # 1-based, per phase
+
+
+@dataclass(frozen=True)
+class DagPatched(Event):
+    """Incremental ingestion patched the maintained views."""
+
+    kind: ClassVar[str] = "dag-patched"
+    fingerprint: str
+    removed_pids: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class EngineFinished(Event):
+    """The execution engine flushed its cache and closed."""
+
+    kind: ClassVar[str] = "engine-finished"
+    summary: str
+    executed: int
+    cached: int
+
+
+@dataclass(frozen=True)
+class RunFinished(Event):
+    """The run produced its report (payload: the report object)."""
+
+    kind: ClassVar[str] = "run-finished"
+    report: object
+
+
+@runtime_checkable
+class Observer(Protocol):
+    """Anything that wants to watch a run."""
+
+    def on_event(self, event: Event) -> None:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class EventLog:
+    """The reference observer: records every event, in order."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def on_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        return [event.kind for event in self.events]
+
+    def first(self, kind: str) -> Optional[Event]:
+        return next((e for e in self.events if e.kind == kind), None)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class EventBus:
+    """Fans each emitted event out to every subscribed observer.
+
+    Plain callables are accepted alongside :class:`Observer` objects;
+    subscription order is delivery order.  A bus with no observers is
+    free: ``emit`` short-circuits on an empty list.
+    """
+
+    def __init__(
+        self,
+        observers: Optional[
+            list[Union[Observer, Callable[[Event], None]]]
+        ] = None,
+    ) -> None:
+        self._observers: list[Observer] = []
+        for observer in observers or []:
+            self.subscribe(observer)
+
+    def subscribe(
+        self, observer: Union[Observer, Callable[[Event], None]]
+    ) -> None:
+        if not hasattr(observer, "on_event"):
+            observer = _CallableObserver(observer)
+        self._observers.append(observer)
+
+    def emit(self, event: Event) -> None:
+        for observer in self._observers:
+            observer.on_event(event)
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+
+@dataclass
+class _CallableObserver:
+    """Adapter: a bare callable as an :class:`Observer`."""
+
+    fn: Callable[[Event], None]
+
+    def on_event(self, event: Event) -> None:
+        self.fn(event)

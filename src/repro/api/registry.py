@@ -1,0 +1,194 @@
+"""String-keyed plugin registries: the API's extension points.
+
+Role
+----
+Every name a :class:`~repro.api.spec.RunSpec` can mention — a workload,
+an execution backend, a predicate extractor, a precedence policy —
+resolves through a :class:`Registry` here.  The CLI builds its
+``choices`` lists from the same registries, so a third-party package
+that registers a workload or a backend at import time shows up in
+``repro debug``/``repro run`` with no core changes::
+
+    from repro.api.registry import workloads
+
+    @workloads.register("my-service")
+    def build() -> Workload:
+        ...
+
+Invariants
+----------
+* lookup failures are actionable: :class:`RegistryError` names the
+  registry and lists every registered key;
+* registration is last-write-wins only with ``replace=True`` —
+  accidental shadowing of a bundled name is an error;
+* :data:`workloads` *is* :data:`repro.workloads.common.REGISTRY` (one
+  object, two import paths), so the bundled case studies and
+  third-party registrations can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """An unknown key was looked up (message lists the known ones)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.message
+
+
+class Registry(Generic[T]):
+    """A named string → factory mapping with decorator registration."""
+
+    def __init__(self, kind: str) -> None:
+        #: what this registry holds, for error messages ("workload", …)
+        self.kind = kind
+        self._factories: dict[str, T] = {}
+
+    def register(
+        self, name: str, factory: Optional[T] = None, replace: bool = False
+    ):
+        """Register ``factory`` under ``name``; usable as a decorator."""
+
+        def _register(fn: T) -> T:
+            if not replace and name in self._factories:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered "
+                    "(pass replace=True to override)"
+                )
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def get(self, name: str) -> T:
+        """The registered factory, or a :class:`RegistryError` naming
+        every valid key."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "(none)"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r} (registered: {known})"
+            ) from None
+
+    def build(self, name: str, *args, **kwargs):
+        """Call the registered factory."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+
+# ---------------------------------------------------------------------------
+# The four bundled registries
+# ---------------------------------------------------------------------------
+
+#: name → zero-arg builder returning a :class:`repro.workloads.Workload`.
+#: This is the *same object* as ``repro.workloads.common.REGISTRY``; the
+#: bundled case studies register themselves into it at import time.
+workloads: Registry[Callable] = Registry("workload")
+
+#: name → factory(jobs) returning a :class:`repro.exec.backends.Backend`.
+backends: Registry[Callable] = Registry("backend")
+
+#: name → zero-arg factory returning a :class:`repro.core.Extractor`.
+extractors: Registry[Callable] = Registry("extractor")
+
+#: name → zero-arg factory returning a
+#: :class:`repro.core.precedence.PrecedencePolicy`.
+policies: Registry[Callable] = Registry("precedence policy")
+
+
+def _register_builtins() -> None:
+    """Populate the backend/extractor/policy registries.
+
+    Imported lazily so this module stays import-cycle-free (workloads
+    self-register on ``repro.workloads`` import instead)."""
+    from ..core.extraction import (
+        CompoundConjunctionExtractor,
+        DataRaceExtractor,
+        DurationExtractor,
+        FailureExtractor,
+        MethodExecutedExtractor,
+        MethodFailsExtractor,
+        OrderViolationExtractor,
+        WrongReturnExtractor,
+    )
+    from ..core.precedence import (
+        EndTimePolicy,
+        KindAnchorPolicy,
+        LamportAnchorPolicy,
+        StartTimePolicy,
+    )
+    from ..exec.backends import BACKENDS
+
+    for name in BACKENDS:
+        backends.register(name, _backend_factory(name))
+
+    for name, cls in (
+        ("data-race", DataRaceExtractor),
+        ("method-fails", MethodFailsExtractor),
+        ("duration", DurationExtractor),
+        ("wrong-return", WrongReturnExtractor),
+        ("order-violation", OrderViolationExtractor),
+        ("method-executed", MethodExecutedExtractor),
+        ("compound", CompoundConjunctionExtractor),
+        ("failure", FailureExtractor),
+    ):
+        extractors.register(name, cls)
+
+    for name, cls in (
+        ("kind-anchor", KindAnchorPolicy),
+        ("start-time", StartTimePolicy),
+        ("end-time", EndTimePolicy),
+        ("lamport", LamportAnchorPolicy),
+    ):
+        policies.register(name, cls)
+
+
+def _backend_factory(name: str) -> Callable:
+    def factory(jobs: Optional[int] = None):
+        from ..exec.backends import make_backend
+
+        return make_backend(name, jobs)
+
+    factory.__name__ = f"make_{name}_backend"
+    return factory
+
+
+def workload_for_program(program_name: Optional[str]):
+    """The registered workload whose program has this name, or ``None``.
+
+    Corpus manifests pin a *program* name; this is the reverse lookup
+    the corpus commands use to reattach the live program (needed for
+    the Section 3.3 safe-intervention filter and for interventions).
+    """
+    if program_name is None:
+        return None
+    for name in workloads.names():
+        workload = workloads.build(name)
+        if workload.program.name == program_name:
+            return workload
+    return None
+
+
+_register_builtins()

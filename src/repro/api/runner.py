@@ -1,0 +1,147 @@
+"""``repro.api.run`` — dispatch a :class:`RunSpec` to the right session.
+
+Role
+----
+The one imperative verb of the declarative API.  Given a validated
+spec, it:
+
+1. builds the execution engine from :class:`~repro.api.spec.EngineSpec`
+   (attaching the run's :class:`~repro.api.events.EventBus`, so
+   intervention rounds stream to observers);
+2. dispatches by mode — **live** (collect + debug via
+   :class:`~repro.harness.session.AIDSession`), **corpus** (debug from
+   a stored :class:`~repro.corpus.store.TraceStore` via
+   :class:`~repro.corpus.session.CorpusSession`), or **incremental**
+   (analyze-only :class:`~repro.corpus.pipeline.IncrementalPipeline`
+   bootstrap over the store);
+3. returns a :class:`~repro.harness.session.SessionReport` whose
+   :meth:`~repro.harness.session.SessionReport.to_dict` is the
+   versioned report schema.
+
+Invariants
+----------
+* results are a pure function of the spec: observers, job counts, and
+  backends never change the report (asserted byte-identical to the
+  legacy entry points in tests);
+* corpus-backed runs persist what they learned (store manifests, eval
+  matrix) before returning;
+* the engine is always flushed and closed, success or failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from .events import EventBus, Observer, RunFinished, RunStarted
+from .spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness.session import SessionReport
+
+
+def run(
+    spec: RunSpec,
+    observers: Iterable[Union[Observer, "callable"]] = (),
+    bus: Optional[EventBus] = None,
+) -> "SessionReport":
+    """Execute one declarative run and return its report.
+
+    ``observers`` (or a pre-built ``bus``) receive the run's events in
+    phase order; see :mod:`repro.api.events` for the catalogue.
+    """
+    from ..core.variants import Approach
+    from ..corpus import CorpusSession, TraceStore
+    from ..harness.session import AIDSession, SessionConfig
+
+    spec.validate()
+    if bus is None:
+        bus = EventBus(list(observers))
+    mode = spec.mode
+    engine = spec.engine.build(bus=bus)
+    try:
+        if mode == "incremental":
+            report = _run_incremental(spec, engine, bus)
+        else:
+            from . import registry as registries
+
+            workload = registries.workloads.build(spec.workload.name)
+            config = SessionConfig(
+                n_success=spec.collection.n_success,
+                n_fail=spec.collection.n_fail,
+                start_seed=spec.collection.start_seed,
+                max_steps=spec.collection.max_steps,
+                repeats=spec.analysis.repeats,
+                rng_seed=spec.analysis.rng_seed,
+                extractors=spec.analysis.build_extractors(),
+                policy=spec.analysis.build_policy(),
+                engine=engine,
+                bus=bus,
+            )
+            bus.emit(
+                RunStarted(
+                    program=workload.program.name,
+                    mode=mode,
+                    approach=spec.analysis.approach,
+                )
+            )
+            if mode == "corpus":
+                store = TraceStore.open(spec.corpus.dir)
+                session = CorpusSession(workload.program, store, config)
+                report = session.run(Approach(spec.analysis.approach))
+                session.save()
+            else:
+                session = AIDSession(workload.program, config)
+                report = session.run(Approach(spec.analysis.approach))
+    finally:
+        # An interrupted run still persists the outcomes it paid for
+        # (and observers still see the engine-finished accounting).
+        engine.finish()
+    bus.emit(RunFinished(report=report))
+    return report
+
+
+def _run_incremental(spec: RunSpec, engine, bus: EventBus) -> "SessionReport":
+    """Analyze-only: bootstrap the incremental pipeline over the store
+    (shard-parallel when the engine has workers) and report its views."""
+    from ..corpus import IncrementalPipeline, TraceStore
+    from ..harness.session import SessionReport
+    from . import registry as registries
+
+    store = TraceStore.open(spec.corpus.dir)
+    workload = registries.workload_for_program(store.program)
+    program = workload.program if workload is not None else None
+    bus.emit(
+        RunStarted(program=store.program, mode="incremental", approach=None)
+    )
+    pipeline = IncrementalPipeline(
+        store,
+        program=program,
+        extractors=spec.analysis.build_extractors(),
+        policy=spec.analysis.build_policy(),
+        bus=bus,
+    )
+    pipeline.bootstrap(engine=engine)
+    pipeline.save()
+    n_fail = sum(
+        1
+        for entry in store.entries.values()
+        if entry.failed and entry.signature == pipeline.signature
+    )
+    return SessionReport(
+        program=program,
+        corpus=None,
+        suite=pipeline.suite,
+        debugger=pipeline.debugger,
+        fully_discriminative=list(pipeline.fully),
+        dag=pipeline.dag,
+        discovery=None,
+        explanation=None,
+        approach=None,
+        signature=pipeline.signature,
+        n_success=store.n_pass,
+        n_fail=n_fail,
+        program_name=store.program,
+    )
+
+
+__all__ = ["run"]

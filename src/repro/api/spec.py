@@ -1,0 +1,494 @@
+"""The declarative front door: ``RunSpec`` and its section dataclasses.
+
+Role
+----
+A :class:`RunSpec` is a complete, serializable description of one
+debugging run — which workload (or stored corpus), how traces are
+collected, where intervened executions run, and how the analysis is
+configured.  It round-trips through plain dicts, JSON, and TOML, so a
+run can live in a config file (``repro run spec.toml``), a service
+request body, or a test fixture, and every CLI subcommand builds one
+internally instead of hand-wiring sessions.
+
+Sections
+--------
+* :class:`WorkloadSpec` — which registered workload to debug;
+* :class:`CollectionSpec` — the labeled-trace sweep quotas;
+* :class:`EngineSpec` — execution backend, job count, outcome cache
+  (also the single home of the CLI's ``--jobs/--backend/--cache``
+  plumbing: :meth:`EngineSpec.add_flags` / :meth:`EngineSpec.from_args`
+  / :meth:`EngineSpec.build`);
+* :class:`CorpusSpec` — debug from a stored corpus, or run the
+  incremental analyze-only pipeline over it;
+* :class:`AnalysisSpec` — approach, intervention repeats, RNG seed,
+  and registry names for extractors and the precedence policy.
+
+Invariants
+----------
+* ``RunSpec.from_dict(spec.to_dict()) == spec`` for every valid spec,
+  and the same through TOML and JSON text (asserted in tests);
+* unknown keys and unknown registry names fail **with actionable
+  errors** (:class:`SpecError` carries the dotted path and lists the
+  valid alternatives) — never silently ignored;
+* a spec is inert data: building sessions/engines from it happens in
+  :func:`repro.api.runner.run`, so specs can be validated, diffed, and
+  stored without side effects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.scheduler import DEFAULT_MAX_STEPS
+from . import registry as registries
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import argparse
+
+    from ..exec.engine import ExecutionEngine
+    from .events import EventBus
+
+SPEC_VERSION = 1
+
+
+class SpecError(ValueError):
+    """A spec is malformed; ``path`` says where, ``detail`` says why."""
+
+    def __init__(self, path: str, detail: str) -> None:
+        super().__init__(f"{path}: {detail}" if path else detail)
+        self.path = path
+        self.detail = detail
+
+
+def _from_section(cls, raw: object, path: str):
+    """Build a section dataclass from a dict, rejecting unknown keys."""
+    if raw is None:
+        return cls()
+    if not isinstance(raw, dict):
+        raise SpecError(path, f"expected a table/object, got {type(raw).__name__}")
+    fields = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(raw) - fields)
+    if unknown:
+        raise SpecError(
+            path,
+            f"unknown key {unknown[0]!r} (valid: {', '.join(sorted(fields))})",
+        )
+    return cls(**raw)
+
+
+def _section_dict(section) -> dict:
+    """A section as a plain dict, ``None`` values omitted."""
+    return {
+        f.name: getattr(section, f.name)
+        for f in dataclasses.fields(section)
+        if getattr(section, f.name) is not None
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Which registered workload to run (``repro.api.registry.workloads``)."""
+
+    name: str = ""
+
+    def problems(self) -> list[str]:
+        if not self.name:
+            return ["workload.name: required (one of: "
+                    f"{', '.join(registries.workloads.names())})"]
+        if self.name not in registries.workloads:
+            return [
+                f"workload.name: unknown workload {self.name!r} "
+                f"(registered: {', '.join(registries.workloads.names())})"
+            ]
+        return []
+
+
+@dataclass(frozen=True)
+class CollectionSpec:
+    """The labeled-trace sweep: how many of each label, from which seed."""
+
+    n_success: int = 50
+    n_fail: int = 50
+    start_seed: int = 0
+    max_steps: int = DEFAULT_MAX_STEPS
+
+    def problems(self) -> list[str]:
+        problems = []
+        for name in ("n_success", "n_fail"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                problems.append(
+                    f"collection.{name}: expected a positive integer, "
+                    f"got {value!r}"
+                )
+        if not isinstance(self.max_steps, int) or self.max_steps < 1:
+            problems.append(
+                f"collection.max_steps: expected a positive integer, "
+                f"got {self.max_steps!r}"
+            )
+        return problems
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Where intervened re-executions run, and what outcomes persist.
+
+    The single home of the engine-flag plumbing every intervention-heavy
+    CLI subcommand shares (``debug``, ``figure7``, ``figure8``,
+    ``corpus analyze``, ``run``).
+    """
+
+    jobs: Optional[int] = None
+    backend: Optional[str] = None
+    cache: Optional[str] = None
+
+    # -- CLI plumbing (one code path for every subcommand) ---------------
+
+    @classmethod
+    def add_flags(cls, parser: "argparse.ArgumentParser") -> None:
+        """Register ``--jobs/--backend/--cache`` on a subparser."""
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="parallel intervened executions (default 1; >1 implies "
+            "--backend thread unless given)",
+        )
+        parser.add_argument(
+            "--backend",
+            default=None,
+            choices=registries.backends.names(),
+            help="execution backend for intervened runs (default serial)",
+        )
+        parser.add_argument(
+            "--cache",
+            default=None,
+            metavar="FILE",
+            help="JSON outcome cache; loaded if present, saved on exit",
+        )
+
+    @classmethod
+    def from_args(cls, args: "argparse.Namespace") -> "EngineSpec":
+        return cls(
+            jobs=getattr(args, "jobs", None),
+            backend=getattr(args, "backend", None),
+            cache=getattr(args, "cache", None),
+        )
+
+    def problems(self) -> list[str]:
+        problems = []
+        if self.jobs is not None and (
+            not isinstance(self.jobs, int) or self.jobs < 1
+        ):
+            problems.append(
+                f"engine.jobs: expected a positive integer, got {self.jobs!r}"
+            )
+        if self.backend is not None and self.backend not in registries.backends:
+            problems.append(
+                f"engine.backend: unknown backend {self.backend!r} "
+                f"(registered: {', '.join(registries.backends.names())})"
+            )
+        return problems
+
+    def build(self, bus: Optional["EventBus"] = None) -> "ExecutionEngine":
+        """Construct the engine: backend from the registry, cache loaded
+        (its parent directory checked *before* any work is spent)."""
+        from ..exec.cache import OutcomeCache
+        from ..exec.engine import ExecutionEngine
+
+        if self.cache is not None:
+            parent = os.path.dirname(os.path.abspath(self.cache))
+            if not os.path.isdir(parent):
+                raise SpecError(
+                    "engine.cache", f"directory {parent} does not exist"
+                )
+        try:
+            cache = OutcomeCache(path=self.cache)
+        except ValueError as exc:
+            raise SpecError("engine.cache", str(exc)) from exc
+        if self.backend is None:
+            # make_backend owns the defaulting rule (serial unless
+            # jobs > 1 implies thread); only explicit names go through
+            # the registry, where third-party backends live.
+            from ..exec.backends import make_backend
+
+            backend = make_backend(None, self.jobs)
+        else:
+            backend = registries.backends.build(self.backend, self.jobs)
+        return ExecutionEngine(backend=backend, cache=cache, bus=bus)
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Debug from (or incrementally analyze) a stored trace corpus."""
+
+    dir: Optional[str] = None
+    #: "session" — full debugging session reading traces from the store;
+    #: "incremental" — analyze-only: bootstrap the incremental pipeline
+    #: (suite → SD → AC-DAG) without running interventions.
+    mode: str = "session"
+
+    def problems(self) -> list[str]:
+        problems = []
+        if self.mode not in ("session", "incremental"):
+            problems.append(
+                f"corpus.mode: expected 'session' or 'incremental', "
+                f"got {self.mode!r}"
+            )
+        if self.mode == "incremental" and self.dir is None:
+            problems.append("corpus.dir: required when corpus.mode is "
+                            "'incremental'")
+        return problems
+
+
+@dataclass(frozen=True)
+class AnalysisSpec:
+    """Approach ladder, intervention budget shape, and plugin names."""
+
+    approach: str = "AID"
+    repeats: int = 25
+    rng_seed: int = 0
+    #: registry names (``repro.api.registry.extractors``); ``None`` =
+    #: the paper's default catalogue
+    extractors: Optional[tuple[str, ...]] = None
+    #: registry name (``repro.api.registry.policies``); ``None`` = the
+    #: default kind-anchor policy
+    policy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.extractors, list):
+            object.__setattr__(self, "extractors", tuple(self.extractors))
+
+    def problems(self) -> list[str]:
+        from ..core.variants import Approach
+
+        problems = []
+        valid = [a.value for a in Approach]
+        if self.approach not in valid:
+            problems.append(
+                f"analysis.approach: unknown approach {self.approach!r} "
+                f"(valid: {', '.join(valid)})"
+            )
+        if not isinstance(self.repeats, int) or self.repeats < 1:
+            problems.append(
+                f"analysis.repeats: expected a positive integer, "
+                f"got {self.repeats!r}"
+            )
+        for name in self.extractors or ():
+            if name not in registries.extractors:
+                problems.append(
+                    f"analysis.extractors: unknown extractor {name!r} "
+                    f"(registered: {', '.join(registries.extractors.names())})"
+                )
+        if self.policy is not None and self.policy not in registries.policies:
+            problems.append(
+                f"analysis.policy: unknown precedence policy {self.policy!r} "
+                f"(registered: {', '.join(registries.policies.names())})"
+            )
+        return problems
+
+    def build_extractors(self):
+        if self.extractors is None:
+            return None
+        return [registries.extractors.build(name) for name in self.extractors]
+
+    def build_policy(self):
+        if self.policy is None:
+            return None
+        return registries.policies.build(self.policy)
+
+
+_SECTIONS = {
+    "collection": CollectionSpec,
+    "engine": EngineSpec,
+    "corpus": CorpusSpec,
+    "analysis": AnalysisSpec,
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative debugging run (see the module docstring)."""
+
+    workload: Optional[WorkloadSpec] = None
+    collection: CollectionSpec = field(default_factory=CollectionSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    corpus: CorpusSpec = field(default_factory=CorpusSpec)
+    analysis: AnalysisSpec = field(default_factory=AnalysisSpec)
+
+    # -- validation ------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """"live", "corpus", or "incremental"."""
+        if self.corpus.dir is None:
+            return "live"
+        return "incremental" if self.corpus.mode == "incremental" else "corpus"
+
+    def problems(self) -> list[str]:
+        """Every problem with this spec, dotted-path-prefixed."""
+        problems: list[str] = []
+        if self.mode == "incremental":
+            # the corpus manifest pins the program; a workload is optional
+            if self.workload is not None and self.workload.name:
+                problems.extend(self.workload.problems())
+        elif self.workload is None:
+            problems.append(
+                "workload: required unless corpus.mode is 'incremental' "
+                "(set workload.name to one of: "
+                f"{', '.join(registries.workloads.names())})"
+            )
+        else:
+            problems.extend(self.workload.problems())
+        for section in (self.collection, self.engine, self.corpus, self.analysis):
+            problems.extend(section.problems())
+        return problems
+
+    def validate(self) -> "RunSpec":
+        """Raise :class:`SpecError` on the first problem; returns self."""
+        problems = self.problems()
+        if problems:
+            raise SpecError("", "; ".join(problems))
+        return self
+
+    # -- dict round-trip -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        payload: dict = {"version": SPEC_VERSION}
+        if self.workload is not None:
+            payload["workload"] = _section_dict(self.workload)
+        for name in sorted(_SECTIONS):
+            section_dict = _section_dict(getattr(self, name))
+            if name == "analysis" and "extractors" in section_dict:
+                section_dict["extractors"] = list(section_dict["extractors"])
+            payload[name] = section_dict
+        return payload
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RunSpec":
+        if not isinstance(raw, dict):
+            raise SpecError("", f"expected an object, got {type(raw).__name__}")
+        version = raw.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SpecError(
+                "version",
+                f"unsupported spec version {version!r} "
+                f"(this build reads version {SPEC_VERSION})",
+            )
+        known = {"version", "workload", *_SECTIONS}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise SpecError(
+                "", f"unknown section {unknown[0]!r} "
+                f"(valid: {', '.join(sorted(known))})"
+            )
+        workload = (
+            _from_section(WorkloadSpec, raw["workload"], "workload")
+            if "workload" in raw
+            else None
+        )
+        sections = {
+            name: _from_section(section_cls, raw.get(name), name)
+            for name, section_cls in _SECTIONS.items()
+        }
+        return cls(workload=workload, **sections)
+
+    # -- JSON ------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError("", f"not valid JSON: {exc}") from exc
+        return cls.from_dict(raw)
+
+    # -- TOML ------------------------------------------------------------
+
+    def to_toml(self) -> str:
+        return _dumps_toml(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "RunSpec":
+        import tomllib
+
+        try:
+            raw = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError("", f"not valid TOML: {exc}") from exc
+        return cls.from_dict(raw)
+
+    # -- files -----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "RunSpec":
+        """Read a spec file; the suffix picks the format (``.toml`` /
+        ``.json``; anything else tries JSON, then TOML)."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise SpecError("", f"cannot read {path}: {exc}") from exc
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            return cls.from_toml(text)
+        if suffix == ".json":
+            return cls.from_json(text)
+        # No recognized suffix: sniff the format.  Fall back to TOML
+        # only when the text is not JSON at all — a file that *parses*
+        # as JSON but fails spec validation must surface that precise
+        # error, not an irrelevant TOML parse failure.
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError:
+            return cls.from_toml(text)
+        return cls.from_dict(raw)
+
+    def save(self, path: str | os.PathLike) -> Path:
+        """Write the spec; the suffix picks the format (default TOML)."""
+        path = Path(path)
+        text = (
+            self.to_json() + "\n"
+            if path.suffix.lower() == ".json"
+            else self.to_toml()
+        )
+        path.write_text(text)
+        return path
+
+
+def _toml_scalar(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # JSON string escaping is valid TOML
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise SpecError("", f"cannot express {type(value).__name__} in TOML")
+
+
+def _dumps_toml(payload: dict) -> str:
+    """A minimal TOML writer for the spec's shape: top-level scalars
+    first, then one ``[section]`` table per nested dict (the standard
+    library ships only a reader)."""
+    lines: list[str] = []
+    for key, value in payload.items():
+        if not isinstance(value, dict):
+            lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            lines.append("")
+            lines.append(f"[{key}]")
+            for inner_key, inner in value.items():
+                lines.append(f"{inner_key} = {_toml_scalar(inner)}")
+    return "\n".join(lines) + "\n"

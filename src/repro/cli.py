@@ -4,40 +4,56 @@ Commands
 --------
 ``list``
     Show the bundled case-study workloads with their paper references.
+``run <SPEC.toml|SPEC.json> [--json]``
+    Execute a declarative :class:`~repro.api.spec.RunSpec` file — the
+    same front door the library exposes as ``repro.run(spec)``.  With
+    ``--json`` the versioned report schema is printed instead of text.
 ``debug <workload> [--approach AID] [--seed N]``
     Run the full AID pipeline on a case study and print the explanation.
 ``figure7`` / ``figure8`` / ``figure6`` / ``example3``
     Regenerate the paper's evaluation artifacts as text tables.
 ``trace <workload> --seed N [-o FILE]``
     Run one execution and dump its trace as JSON (Figure 9(b) schema).
-``corpus init|ingest|stats|shard-stats|analyze|compact``
+``corpus init|ingest|stats|shard-stats|analyze|compact|reshard``
     Manage a persistent trace-corpus store: content-addressed ingestion
     (dedup by trace fingerprint), corpus and per-shard statistics, the
     offline analysis phase with memoized predicate evaluation
-    (``analyze --jobs N`` runs one evaluation task per shard), and
-    compaction of shadowed matrix rows.  ``debug --corpus DIR`` then
-    debugs from the stored logs instead of re-running the collection
-    sweep.
+    (``analyze --jobs N`` runs one evaluation task per shard; a warm
+    corpus also reuses its persisted predicate suite and skips extractor
+    rediscovery), compaction of shadowed matrix rows, and in-place
+    resharding (``reshard DIR --width W``) preserving every memoized
+    pair.  ``debug --corpus DIR`` then debugs from the stored logs
+    instead of re-running the collection sweep.
 
-The intervention-heavy commands (``debug``, ``figure7``, ``figure8``)
-accept execution-engine flags: ``--jobs N`` / ``--backend
-{serial,thread,process}`` pick where intervened re-executions run, and
-``--cache FILE`` persists intervention outcomes so a repeated sweep
-replays from memoization instead of re-executing.  ``corpus analyze``
-reuses the same engine to fan corpus shards out across workers.
+Every subcommand that runs the pipeline builds a
+:class:`~repro.api.spec.RunSpec` internally and dispatches through
+:func:`repro.api.run`; the intervention-heavy commands (``debug``,
+``figure7``, ``figure8``, ``run``) share one engine-flag code path
+(``--jobs/--backend/--cache``, see
+:meth:`~repro.api.spec.EngineSpec.add_flags`).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from .api import registry as registries
+from .api.events import EventLog
+from .api.runner import run as api_run
+from .api.spec import (
+    AnalysisSpec,
+    CollectionSpec,
+    CorpusSpec,
+    EngineSpec,
+    RunSpec,
+    SpecError,
+    WorkloadSpec,
+)
 from .core.variants import Approach
-from .corpus import CorpusError, CorpusSession, IncrementalPipeline, TraceStore
-from .exec import ExecutionEngine, OutcomeCache, make_backend
+from .corpus import CorpusError, IncrementalPipeline, TraceStore
 from .harness.experiments import (
     example3_report,
     figure6_report,
@@ -46,60 +62,77 @@ from .harness.experiments import (
     figure8,
     figure8_report,
 )
-from .harness.session import AIDSession, SessionConfig
 from .harness.tables import render_table
 from .sim.scheduler import Simulator
 from .sim.serialize import trace_to_json
 from .workloads.common import REGISTRY
 
-
-def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="parallel intervened executions (default 1; >1 implies "
-        "--backend thread unless given)",
-    )
-    parser.add_argument(
-        "--backend",
-        default=None,
-        choices=["serial", "thread", "process"],
-        help="execution backend for intervened runs (default serial)",
-    )
-    parser.add_argument(
-        "--cache",
-        default=None,
-        metavar="FILE",
-        help="JSON outcome cache; loaded if present, saved on exit",
-    )
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .exec import ExecutionEngine
 
 
-def _make_engine(args: argparse.Namespace) -> ExecutionEngine:
-    if args.cache is not None:
-        # Fail before the sweep, not at save time after all the work.
-        parent = os.path.dirname(os.path.abspath(args.cache))
-        if not os.path.isdir(parent):
-            raise SystemExit(
-                f"repro: --cache: directory {parent} does not exist"
-            )
+def _spec_exit(exc: SpecError, context: str = "") -> "SystemExit":
+    """A :class:`SpecError` as the CLI's flag-style error message."""
+    if exc.path:
+        flag = "--" + exc.path.split(".")[-1]
+        return SystemExit(f"repro: {flag}: {exc.detail}")
+    prefix = f"repro: {context}: " if context else "repro: "
+    return SystemExit(f"{prefix}{exc.detail}")
+
+
+def _build_engine(spec: RunSpec) -> ExecutionEngine:
+    """Build just the engine of a spec (figure sweeps drive many
+    sessions through one engine, outside :func:`repro.api.run`)."""
     try:
-        cache = OutcomeCache(path=args.cache)
-    except ValueError as exc:
-        raise SystemExit(f"repro: --cache: {exc}") from exc
-    return ExecutionEngine(
-        backend=make_backend(args.backend, args.jobs), cache=cache
+        return spec.engine.build()
+    except SpecError as exc:
+        raise _spec_exit(exc) from exc
+
+
+def _print_engine_summary(log: EventLog) -> None:
+    """The engine accounting block every intervention command prints."""
+    finished = log.first("engine-finished")
+    if finished is not None:
+        print()
+        print(finished.summary)
+
+
+def _print_session_report(
+    args: argparse.Namespace,
+    log: EventLog,
+    report,
+    workload_name: Optional[str] = None,
+) -> None:
+    """The ``debug``-style text rendering of a session report."""
+    loaded = log.first("corpus-loaded")
+    evaluated = log.first("logs-evaluated")
+    if loaded is not None and evaluated is not None:
+        print(
+            f"corpus   : {loaded.n_traces} stored traces "
+            f"({loaded.n_pass} pass / {loaded.n_fail} fail); "
+            f"{evaluated.fresh} fresh predicate "
+            f"evaluations, {evaluated.memoized} memoized"
+        )
+    workload = REGISTRY.build(workload_name) if workload_name else None
+    if workload is not None:
+        print(f"workload : {workload.name} ({workload.paper.github_issue})")
+    print(f"approach : {report.approach.value}")
+    paper_note = (
+        f" (paper: {workload.paper.sd_predicates})" if workload else ""
     )
-
-
-def _finish_engine(engine: ExecutionEngine) -> None:
-    saved = engine.flush()
-    engine.close()
+    print(
+        f"predicates: {report.n_sd_predicates} fully discriminative"
+        f"{paper_note}"
+    )
+    print(
+        f"rounds   : {report.n_rounds} intervention rounds, "
+        f"{report.discovery.n_executions} executions"
+    )
     print()
-    print(engine.stats.report())
-    if saved is not None:
-        print(f"outcome cache: {len(engine.cache)} entries -> {saved}")
+    print(report.explanation.render())
+    if getattr(args, "dot", False):
+        print()
+        print(report.dag.to_dot())
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -117,73 +150,85 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_debug(args: argparse.Namespace) -> int:
-    workload = REGISTRY.build(args.workload)
-    engine = _make_engine(args)
+def _run_spec(spec: RunSpec, log: EventLog, corpus_flag: bool = False):
+    """Dispatch through :func:`repro.api.run` with CLI error wrapping."""
     try:
-        config = SessionConfig(
-            n_success=args.runs, n_fail=args.runs, rng_seed=args.seed,
-            engine=engine,
+        return api_run(spec, observers=[log])
+    except SpecError as exc:
+        raise _spec_exit(exc) from exc
+    except CorpusError as exc:
+        _print_engine_summary(log)
+        flag = "--corpus" if corpus_flag else "corpus"
+        raise SystemExit(f"repro: {flag}: {exc}") from exc
+
+
+def _cmd_debug(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        workload=WorkloadSpec(name=args.workload),
+        collection=CollectionSpec(n_success=args.runs, n_fail=args.runs),
+        engine=EngineSpec.from_args(args),
+        corpus=CorpusSpec(dir=args.corpus),
+        analysis=AnalysisSpec(approach=args.approach, rng_seed=args.seed),
+    )
+    log = EventLog()
+    report = _run_spec(spec, log, corpus_flag=True)
+    _print_session_report(args, log, report, workload_name=args.workload)
+    _print_engine_summary(log)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = RunSpec.load(args.spec)
+    except SpecError as exc:
+        raise SystemExit(f"repro: run: {exc}") from exc
+    log = EventLog()
+    report = _run_spec(spec, log)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if report.discovery is not None:
+        _print_session_report(
+            args, log, report,
+            workload_name=spec.workload.name if spec.workload else None,
         )
-        if args.corpus is not None:
-            try:
-                store = TraceStore.open(args.corpus)
-                session = CorpusSession(workload.program, store, config)
-            except CorpusError as exc:
-                raise SystemExit(f"repro: --corpus: {exc}") from exc
-        else:
-            session = AIDSession(workload.program, config)
-        report = session.run(Approach(args.approach))
-        if args.corpus is not None:
-            session.save()
-            print(
-                f"corpus   : {len(store)} stored traces "
-                f"({store.n_pass} pass / {store.n_fail} fail); "
-                f"{session.matrix.pair_evaluations} fresh predicate "
-                f"evaluations, {session.matrix.pair_hits} memoized"
-            )
-        print(f"workload : {workload.name} ({workload.paper.github_issue})")
-        print(f"approach : {report.approach.value}")
-        print(
-            f"predicates: {report.n_sd_predicates} fully discriminative "
-            f"(paper: {workload.paper.sd_predicates})"
-        )
-        print(
-            f"rounds   : {report.n_rounds} intervention rounds, "
-            f"{report.discovery.n_executions} executions"
-        )
-        print()
-        print(report.explanation.render())
-        if args.dot:
-            print()
-            print(report.dag.to_dot())
-    finally:
-        # An interrupted sweep still persists the outcomes it paid for.
-        _finish_engine(engine)
+        _print_engine_summary(log)
+    else:
+        _print_analysis_report(args, log, report)
     return 0
 
 
 def _cmd_figure7(args: argparse.Namespace) -> int:
-    engine = _make_engine(args)
+    spec = RunSpec(engine=EngineSpec.from_args(args))
+    engine = _build_engine(spec)
     try:
         results = figure7(engine=engine)
         print(figure7_report(results))
     finally:
-        _finish_engine(engine)
+        # An interrupted sweep still persists the outcomes it paid for.
+        print()
+        print(engine.finish())
     return 0 if all(r.matches_ground_truth for r in results) else 1
 
 
 def _cmd_figure8(args: argparse.Namespace) -> int:
-    engine = _make_engine(args)
+    spec = RunSpec(
+        engine=EngineSpec.from_args(args),
+        analysis=AnalysisSpec(rng_seed=args.seed),
+    )
+    engine = _build_engine(spec)
     try:
         result = figure8(
-            apps_per_setting=args.apps, seed=args.seed, engine=engine
+            apps_per_setting=args.apps,
+            seed=spec.analysis.rng_seed,
+            engine=engine,
         )
         print(figure8_report(result))
         print(f"\napps per setting: {result.n_apps}; "
               f"exact recovery everywhere: {result.all_exact}")
     finally:
-        _finish_engine(engine)
+        print()
+        print(engine.finish())
     return 0 if result.all_exact else 1
 
 
@@ -212,23 +257,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _workload_for_program(program_name: Optional[str]):
-    """The bundled workload whose program has this name, or ``None``."""
-    if program_name is None:
-        return None
-    for name in REGISTRY.names():
-        workload = REGISTRY.build(name)
-        if workload.program.name == program_name:
-            return workload
-    return None
-
-
 def _build_pipeline(args: argparse.Namespace) -> IncrementalPipeline:
     """Open the store and wire the analysis pipeline, with the live
     program attached when the manifest names a bundled workload (needed
     for the Section 3.3 safe-intervention filter)."""
     store = TraceStore.open(args.dir)
-    workload = _workload_for_program(store.program)
+    workload = registries.workload_for_program(store.program)
     return IncrementalPipeline(
         store, program=workload.program if workload else None
     )
@@ -277,7 +311,7 @@ def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
                     "repro: corpus ingest --runs needs a program: ingest a "
                     "trace file first or init with --workload"
                 )
-            workload = _workload_for_program(store.program)
+            workload = registries.workload_for_program(store.program)
             if workload is None:
                 raise SystemExit(
                     f"repro: corpus program {store.program!r} is not a "
@@ -335,8 +369,6 @@ def _cmd_corpus_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_corpus_shard_stats(args: argparse.Namespace) -> int:
-    from .harness.tables import render_table
-
     store = TraceStore.open(args.dir)
     matrix = store.eval_matrix()
     matrix.load_all()
@@ -370,40 +402,51 @@ def _cmd_corpus_shard_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_corpus_analyze(args: argparse.Namespace) -> int:
-    engine = None
-    if args.jobs or args.backend:
-        engine = ExecutionEngine(backend=make_backend(args.backend, args.jobs))
-    pipeline = _build_pipeline(args)
-    try:
-        pipeline.bootstrap(engine=engine)
-    finally:
-        if engine is not None:
-            engine.close()
-    pipeline.save()
-    matrix = pipeline.matrix
+def _print_analysis_report(
+    args: argparse.Namespace, log: EventLog, report
+) -> None:
+    """The ``corpus analyze``-style text rendering."""
+    n_logs = (report.n_success or 0) + (report.n_fail or 0)
     print(
-        f"analyzed {len(pipeline.logs)} stored logs "
-        f"(failure signature {pipeline.signature})"
+        f"analyzed {n_logs} stored logs "
+        f"(failure signature {report.signature})"
     )
     print(
-        f"predicates: {len(pipeline.suite)} extracted, "
-        f"{len(pipeline.fully)} fully discriminative"
+        f"predicates: {len(report.suite)} extracted, "
+        f"{len(report.fully_discriminative)} fully discriminative"
     )
-    for pid in pipeline.fully:
-        print(f"  {pid}: {pipeline.dag.describe(pid)}")
+    for pid in report.fully_discriminative:
+        print(f"  {pid}: {report.dag.describe(pid)}")
     print(
-        f"AC-DAG   : {len(pipeline.dag)} nodes, "
-        f"{pipeline.dag.graph.number_of_edges()} edges "
-        f"(over {pipeline.dag.n_failed_logs} failed logs)"
+        f"AC-DAG   : {len(report.dag)} nodes, "
+        f"{report.dag.graph.number_of_edges()} edges "
+        f"(over {report.dag.n_failed_logs} failed logs)"
     )
-    print(
-        f"evaluation: {matrix.pair_evaluations} fresh, "
-        f"{matrix.pair_hits} answered from the matrix"
-    )
-    if args.dot:
+    evaluated = log.first("logs-evaluated")
+    if evaluated is not None:
+        print(
+            f"evaluation: {evaluated.fresh} fresh, "
+            f"{evaluated.memoized} answered from the matrix"
+        )
+    frozen = log.first("suite-frozen")
+    if frozen is not None and frozen.source == "persisted":
+        print(
+            f"suite    : {frozen.n_predicates} predicates reused from "
+            "the persisted freeze (extractor rediscovery skipped)"
+        )
+    if getattr(args, "dot", False):
         print()
-        print(pipeline.dag.to_dot())
+        print(report.dag.to_dot())
+
+
+def _cmd_corpus_analyze(args: argparse.Namespace) -> int:
+    spec = RunSpec(
+        corpus=CorpusSpec(dir=args.dir, mode="incremental"),
+        engine=EngineSpec(jobs=args.jobs, backend=args.backend),
+    )
+    log = EventLog()
+    report = _run_spec(spec, log)
+    _print_analysis_report(args, log, report)
     return 0
 
 
@@ -423,6 +466,27 @@ def _cmd_corpus_compact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus_reshard(args: argparse.Namespace) -> int:
+    store = TraceStore.open(args.dir)
+    width_before = store.shard_width
+    stats = store.reshard(args.width)
+    if width_before == args.width:
+        print(
+            f"corpus {args.dir} already has shard width {args.width}; "
+            "nothing to do"
+        )
+        return 0
+    print(
+        f"resharded {args.dir}: width {width_before} -> {args.width}, "
+        f"{stats['n_traces']} traces across "
+        f"{stats['shards_before']} -> {stats['shards_after']} shards"
+    )
+    print(
+        f"eval matrix: {stats['pairs_preserved']} memoized pairs preserved"
+    )
+    return 0
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     handlers = {
         "init": _cmd_corpus_init,
@@ -431,6 +495,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         "shard-stats": _cmd_corpus_shard_stats,
         "analyze": _cmd_corpus_analyze,
         "compact": _cmd_corpus_compact,
+        "reshard": _cmd_corpus_reshard,
     }
     try:
         return handlers[args.corpus_command](args)
@@ -446,6 +511,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list bundled case-study workloads")
+
+    runp = sub.add_parser(
+        "run",
+        help="execute a declarative RunSpec file (TOML or JSON)",
+    )
+    runp.add_argument("spec", metavar="SPEC",
+                      help="path to a RunSpec .toml/.json file")
+    runp.add_argument(
+        "--json", action="store_true",
+        help="print the versioned report JSON instead of text",
+    )
+    runp.add_argument("--dot", action="store_true",
+                      help="also print the AC-DAG in Graphviz format")
 
     debug = sub.add_parser("debug", help="debug a case study with AID")
     debug.add_argument("workload", choices=REGISTRY.names())
@@ -467,15 +545,15 @@ def build_parser() -> argparse.ArgumentParser:
         "of re-running the collection sweep (predicate evaluation is "
         "memoized across invocations)",
     )
-    _add_engine_flags(debug)
+    EngineSpec.add_flags(debug)
 
     fig7 = sub.add_parser("figure7", help="regenerate the case-study table")
-    _add_engine_flags(fig7)
+    EngineSpec.add_flags(fig7)
 
     fig8 = sub.add_parser("figure8", help="regenerate the synthetic sweep")
     fig8.add_argument("--apps", type=int, default=100)
     fig8.add_argument("--seed", type=int, default=7)
-    _add_engine_flags(fig8)
+    EngineSpec.add_flags(fig8)
 
     fig6 = sub.add_parser("figure6", help="regenerate the theory table")
     fig6.add_argument("--junctions", type=int, default=3)
@@ -546,7 +624,8 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="offline phase over the stored logs: predicates -> SD -> "
         "AC-DAG, with evaluation memoized in the corpus (one task per "
-        "shard with --jobs)",
+        "shard with --jobs) and the frozen suite persisted for warm "
+        "restarts",
     )
     canalyze.add_argument("dir")
     canalyze.add_argument("--dot", action="store_true",
@@ -557,7 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
         "merged result is identical for any job count)",
     )
     canalyze.add_argument(
-        "--backend", default=None, choices=["serial", "thread", "process"],
+        "--backend", default=None, choices=registries.backends.names(),
         help="where shard evaluation runs (default serial; --jobs N>1 "
         "implies thread)",
     )
@@ -569,11 +648,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ccompact.add_argument("dir")
 
+    creshard = csub.add_parser(
+        "reshard",
+        help="rewrite the corpus under a new shard width, in place, "
+        "preserving every memoized (predicate, trace) pair",
+    )
+    creshard.add_argument("dir")
+    creshard.add_argument(
+        "--width", type=int, required=True, choices=range(0, 5),
+        metavar="W",
+        help="new shard width (hex chars of the fingerprint, 0-4; "
+        "0 disables sharding)",
+    )
+
     return parser
 
 
 _COMMANDS = {
     "list": _cmd_list,
+    "run": _cmd_run,
     "debug": _cmd_debug,
     "figure7": _cmd_figure7,
     "figure8": _cmd_figure8,

@@ -447,6 +447,37 @@ class PredicateSuite:
             pid for pid, p in self.defs.items() if isinstance(p, FailurePredicate)
         )
 
+    def to_dict(self) -> dict:
+        """The frozen suite as a JSON-able payload (order-preserving).
+
+        Inverse: :meth:`from_dict`.  Round-tripping preserves every pid,
+        the definition order, and the suite :attr:`fingerprint` — which
+        is what lets a persisted suite stand in for rediscovery (see
+        ``repro corpus analyze`` warm starts)."""
+        from .predicates import PREDICATE_FORMAT_VERSION, predicate_to_dict
+
+        return {
+            "version": PREDICATE_FORMAT_VERSION,
+            "predicates": [predicate_to_dict(p) for p in self.defs.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "PredicateSuite":
+        """Rebuild a suite serialized by :meth:`to_dict`."""
+        from .predicates import PREDICATE_FORMAT_VERSION, predicate_from_dict
+
+        version = raw.get("version")
+        if version != PREDICATE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported predicate-suite version {version!r} "
+                f"(this build reads version {PREDICATE_FORMAT_VERSION})"
+            )
+        defs: dict[str, PredicateDef] = {}
+        for payload in raw.get("predicates", []):
+            pred = predicate_from_dict(payload)
+            defs[pred.pid] = pred
+        return cls(defs=defs)
+
     def evaluate(self, trace: ExecutionTrace, seed: int = 0) -> PredicateLog:
         """Evaluate every predicate on one trace → a predicate log."""
         observations: dict[str, Observation] = {}

@@ -586,3 +586,102 @@ class FailurePredicate(PredicateDef):
 
     def interventions(self) -> tuple[Intervention, ...]:
         raise LookupError("the failure predicate F cannot be intervened on")
+
+
+# ---------------------------------------------------------------------------
+# Serialization: predicates as JSON-able dicts
+# ---------------------------------------------------------------------------
+
+#: Format version of the predicate/suite payloads (bump on breaking
+#: changes; readers refuse unknown versions rather than misparse).
+PREDICATE_FORMAT_VERSION = 1
+
+#: Every serializable predicate class, keyed by class name.
+_PREDICATE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        DataRacePredicate,
+        MethodFailsPredicate,
+        TooSlowPredicate,
+        TooFastPredicate,
+        WrongReturnPredicate,
+        OrderViolationPredicate,
+        ExecutedPredicate,
+        CompoundAndPredicate,
+        FailurePredicate,
+    )
+}
+
+
+def _encode_value(value: object) -> object:
+    """JSON-able encoding with type tags for the non-JSON field types.
+
+    Tags: ``{"$key": [...]}`` for :class:`MethodKey`, ``{"$pred": ...}``
+    for nested predicates (compound parts), ``{"$tuple": [...]}`` for
+    tuples (lists stay lists so the distinction survives the trip —
+    ``definition_digest`` hashes ``repr`` and must not drift).
+    """
+    if isinstance(value, MethodKey):
+        return {"$key": [value.method, value.thread, value.occurrence]}
+    if isinstance(value, PredicateDef):
+        return {"$pred": predicate_to_dict(value)}
+    if isinstance(value, tuple):
+        return {"$tuple": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ValueError(
+        f"cannot serialize predicate field value {value!r} "
+        f"of type {type(value).__name__}"
+    )
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict):
+        if "$key" in value:
+            method, thread, occurrence = value["$key"]
+            return MethodKey(method=method, thread=thread, occurrence=occurrence)
+        if "$pred" in value:
+            return predicate_from_dict(value["$pred"])
+        if "$tuple" in value:
+            return tuple(_decode_value(v) for v in value["$tuple"])
+        raise ValueError(f"unknown predicate value tag in {value!r}")
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def predicate_to_dict(pred: PredicateDef) -> dict:
+    """One predicate as a JSON-able dict (inverse:
+    :func:`predicate_from_dict`).  Round-tripping preserves the pid and
+    the full :meth:`~PredicateDef.definition_digest`."""
+    import dataclasses
+
+    if not dataclasses.is_dataclass(pred):
+        raise ValueError(
+            f"cannot serialize non-dataclass predicate {type(pred).__name__}"
+        )
+    return {
+        "type": type(pred).__name__,
+        "fields": {
+            f.name: _encode_value(getattr(pred, f.name))
+            for f in dataclasses.fields(pred)
+        },
+    }
+
+
+def predicate_from_dict(raw: dict) -> PredicateDef:
+    """Rebuild a predicate serialized by :func:`predicate_to_dict`."""
+    type_name = raw.get("type")
+    cls = _PREDICATE_TYPES.get(type_name)
+    if cls is None:
+        known = ", ".join(sorted(_PREDICATE_TYPES))
+        raise ValueError(
+            f"unknown predicate type {type_name!r} (known: {known})"
+        )
+    fields = {
+        name: _decode_value(value)
+        for name, value in raw.get("fields", {}).items()
+    }
+    return cls(**fields)

@@ -1,4 +1,4 @@
-"""Human-readable explanations of discovered causal paths.
+"""Human-readable explanations — and the machine-readable report schema.
 
 The paper's headline deliverable is not just the root cause but the
 *story*: "(1) two threads race on an index variable (2) the second
@@ -6,6 +6,16 @@ thread accesses the array beyond its size (3) this throws
 IndexOutOfRange (4) the application fails to handle it and crashes."
 This module turns a :class:`~repro.core.discovery.DiscoveryResult` plus
 the predicate definitions into exactly that kind of numbered narrative.
+
+It is also the home of the **versioned report JSON schema**
+(:data:`REPORT_SCHEMA_VERSION`): :func:`report_to_dict` renders a
+:class:`~repro.harness.session.SessionReport` as a deterministic,
+JSON-able dict — the one payload shape shared by ``repro run --json``,
+the benchmarks, and the test suite — and :func:`validate_report_dict`
+checks a payload against the schema, returning actionable problems.
+The dict is a pure function of the analysis results (no wall-clock
+times, no machine state), so two runs that computed the same thing
+serialize byte-identically.
 """
 
 from __future__ import annotations
@@ -15,6 +25,8 @@ from typing import Mapping, Optional
 
 from .discovery import DiscoveryResult
 from .predicates import PredicateDef
+
+REPORT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -85,6 +97,170 @@ def render_sd_ranking(
         "them to the developer)"
     )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The versioned report schema
+# ---------------------------------------------------------------------------
+
+
+def explanation_to_dict(explanation: Explanation) -> dict:
+    return {
+        "steps": [
+            {
+                "index": step.index,
+                "pid": step.pid,
+                "role": step.role,
+                "description": step.description,
+            }
+            for step in explanation.steps
+        ],
+        "text": explanation.render(),
+    }
+
+
+def report_to_dict(report) -> dict:
+    """Render a session report as the versioned JSON payload.
+
+    ``report`` is duck-typed (any object with the
+    :class:`~repro.harness.session.SessionReport` attributes), so this
+    module stays independent of the harness.  ``kind`` is ``"session"``
+    when interventions ran (discovery + explanation present) and
+    ``"analysis"`` for analyze-only runs (both sections ``None``).
+    """
+    discovery = report.discovery
+    collection = None
+    if report.corpus is not None:
+        collection = {
+            "n_success": len(report.corpus.successes),
+            "n_fail": len(report.corpus.failures),
+        }
+    elif report.n_success is not None or report.n_fail is not None:
+        collection = {
+            "n_success": report.n_success or 0,
+            "n_fail": report.n_fail or 0,
+        }
+    program = report.program.name if report.program is not None else None
+    if program is None:
+        program = getattr(report, "program_name", None)
+    graph = report.dag.graph
+    payload: dict = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "kind": "session" if discovery is not None else "analysis",
+        "program": program,
+        "approach": report.approach.value if report.approach else None,
+        "signature": report.signature,
+        "collection": collection,
+        "predicates": {
+            "n_extracted": len(report.suite),
+            "n_fully_discriminative": len(report.fully_discriminative),
+            "fully_discriminative": list(report.fully_discriminative),
+        },
+        "dag": {
+            "n_nodes": graph.number_of_nodes(),
+            "n_edges": graph.number_of_edges(),
+            "nodes": sorted(graph.nodes),
+            "edges": sorted([u, v] for u, v in graph.edges),
+        },
+        "discovery": None,
+        "explanation": None,
+    }
+    if discovery is not None:
+        payload["discovery"] = {
+            "causal_path": list(discovery.causal_path),
+            "failure": discovery.failure,
+            "root_cause": discovery.root_cause,
+            "spurious": list(discovery.spurious),
+            "n_rounds": discovery.n_rounds,
+            "n_executions": discovery.n_executions,
+        }
+    if report.explanation is not None:
+        payload["explanation"] = explanation_to_dict(report.explanation)
+    return payload
+
+
+#: schema key → (required, type-or-None-allowed) — the shape checked by
+#: :func:`validate_report_dict`
+_TOP_LEVEL_KEYS = {
+    "schema": (int, False),
+    "kind": (str, False),
+    "program": (str, True),
+    "approach": (str, True),
+    "signature": (str, True),
+    "collection": (dict, True),
+    "predicates": (dict, False),
+    "dag": (dict, False),
+    "discovery": (dict, True),
+    "explanation": (dict, True),
+}
+
+
+def validate_report_dict(payload: object) -> list[str]:
+    """Check a payload against the report schema; returns problems.
+
+    An empty list means the payload is a valid version-
+    |REPORT_SCHEMA_VERSION| report.  Problems are dotted-path-prefixed
+    and actionable (what was expected, what was found).
+    """
+    if not isinstance(payload, dict):
+        return [f"expected an object, got {type(payload).__name__}"]
+    problems: list[str] = []
+    if payload.get("schema") != REPORT_SCHEMA_VERSION:
+        problems.append(
+            f"schema: expected {REPORT_SCHEMA_VERSION}, "
+            f"got {payload.get('schema')!r}"
+        )
+    for key, (expected, nullable) in _TOP_LEVEL_KEYS.items():
+        if key not in payload:
+            problems.append(f"{key}: missing")
+            continue
+        value = payload[key]
+        if value is None:
+            if not nullable:
+                problems.append(f"{key}: must not be null")
+            continue
+        if not isinstance(value, expected):
+            problems.append(
+                f"{key}: expected {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+    unknown = sorted(set(payload) - set(_TOP_LEVEL_KEYS))
+    if unknown:
+        problems.append(
+            f"unknown key {unknown[0]!r} "
+            f"(valid: {', '.join(sorted(_TOP_LEVEL_KEYS))})"
+        )
+    if problems:
+        return problems
+
+    kind = payload["kind"]
+    if kind not in ("session", "analysis"):
+        problems.append(
+            f"kind: expected 'session' or 'analysis', got {kind!r}"
+        )
+    if kind == "session":
+        for key in ("discovery", "explanation"):
+            if payload[key] is None:
+                problems.append(f"{key}: required for kind 'session'")
+    for key, subkeys in (
+        ("predicates", ("n_extracted", "n_fully_discriminative",
+                        "fully_discriminative")),
+        ("dag", ("n_nodes", "n_edges", "nodes", "edges")),
+    ):
+        for subkey in subkeys:
+            if subkey not in payload[key]:
+                problems.append(f"{key}.{subkey}: missing")
+    discovery = payload.get("discovery")
+    if isinstance(discovery, dict):
+        for subkey in ("causal_path", "failure", "n_rounds", "n_executions"):
+            if subkey not in discovery:
+                problems.append(f"discovery.{subkey}: missing")
+    explanation = payload.get("explanation")
+    if isinstance(explanation, dict):
+        for subkey in ("steps", "text"):
+            if subkey not in explanation:
+                problems.append(f"explanation.{subkey}: missing")
+    return problems
 
 
 def explain(

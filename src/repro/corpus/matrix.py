@@ -440,13 +440,22 @@ class ShardedEvalMatrix:
 
     def persisted_shard_ids(self) -> list[str]:
         """Shards with a bitset file on disk, per the top-level index
-        (falling back to probing the store's populated shards)."""
+        (falling back to probing the store's populated shards).
+
+        Index entries whose shard id does not fit the store's current
+        width are skipped: they are leftovers of an interrupted
+        ``reshard`` (the other layout's ids), and counting both layouts
+        would double every memoized pair."""
         index_path = self.store.matrix_index_path
         sids: set[str] = set()
         if index_path.exists():
             payload = json.loads(index_path.read_text())
             if payload.get("version") == MATRIX_INDEX_VERSION:
-                sids.update(payload.get("shards", []))
+                sids.update(
+                    sid
+                    for sid in payload.get("shards", [])
+                    if self.store.is_valid_shard_id(sid)
+                )
         for sid in self.store.shard_ids:
             if self.store.shard_matrix_path(sid).exists():
                 sids.add(sid)

@@ -70,6 +70,7 @@ from .matrix import CompactionStats, ShardedEvalMatrix
 from .store import CorpusError, TraceStore
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.events import Event, EventBus
     from ..exec.engine import ExecutionEngine
 
 
@@ -97,12 +98,16 @@ class IncrementalPipeline:
         extractors: Optional[Sequence[Extractor]] = None,
         policy: Optional[PrecedencePolicy] = None,
         suite: Optional[PredicateSuite] = None,
+        bus: Optional["EventBus"] = None,
     ) -> None:
         self.store = store
         self.program = program
         self.matrix = matrix if matrix is not None else store.eval_matrix()
         self.extractors = extractors
         self.policy = policy or default_policy()
+        #: observer seam (see :mod:`repro.api.events`); never affects
+        #: results
+        self.bus = bus
         # frozen at bootstrap (or injected pre-frozen: extractor
         # discovery is skipped and shard tasks load their own traces,
         # the steady-state freeze-once / re-analyze-many regime).  Only
@@ -123,6 +128,10 @@ class IncrementalPipeline:
     @property
     def bootstrapped(self) -> bool:
         return self._bootstrapped
+
+    def _emit(self, event: "Event") -> None:
+        if self.bus is not None:
+            self.bus.emit(event)
 
     @property
     def logs(self) -> list[PredicateLog]:
@@ -158,12 +167,33 @@ class IncrementalPipeline:
         evaluation and DAG construction fan out one task per shard and
         merge deterministically (identical state for any job count).
         """
+        from ..api.events import CorpusLoaded, LogsEvaluated, SuiteFrozen
+
         if not any(e.failed for e in self.store.entries.values()):
             raise CorpusError("corpus has no failed traces to analyze")
         if all(e.failed for e in self.store.entries.values()):
             raise CorpusError("corpus has no successful traces to analyze")
+        self._emit(
+            CorpusLoaded(
+                n_traces=len(self.store),
+                n_pass=self.store.n_pass,
+                n_fail=self.store.n_fail,
+            )
+        )
         self.signature = self.store.dominant_failure_signature()
         self.suite = self._injected_suite
+        suite_source = "injected" if self.suite is not None else "discovered"
+        if self.suite is None and self.extractors is None:
+            # Warm restart: a suite frozen over *exactly this corpus
+            # content* (same digest, same attached program) is as good
+            # as rediscovery — extractor calibration saw the same
+            # traces — so the whole discovery pass is skipped.
+            persisted = self.store.load_suite(
+                program=self.program.name if self.program else None
+            )
+            if persisted is not None:
+                self.suite = persisted
+                suite_source = "persisted"
         if self.suite is None:
             # Discovery is global by construction (duration envelopes
             # and order baselines span the whole corpus), so the parent
@@ -177,9 +207,21 @@ class IncrementalPipeline:
                 extractors=self.extractors,
                 program=self.program,
             )
+            if self.extractors is None:
+                # Memoize the freeze for the next analyze over this
+                # exact content (custom extractor stacks are not
+                # serializable, so only the default catalogue persists).
+                self.store.save_suite(
+                    self.suite,
+                    signature=self.signature,
+                    program=self.program.name if self.program else None,
+                )
             fingerprints = [
                 t.fingerprint for t in corpus.successes + corpus.failures
             ]
+            self._emit(
+                SuiteFrozen(n_predicates=len(self.suite), source=suite_source)
+            )
             evaluations = self.matrix.evaluate_shards(
                 self.suite,
                 corpus.successes + corpus.failures,
@@ -202,6 +244,9 @@ class IncrementalPipeline:
                 for fp, e in ordered
                 if e.failed and e.signature == self.signature
             ]
+            self._emit(
+                SuiteFrozen(n_predicates=len(self.suite), source=suite_source)
+            )
             evaluations = self.matrix.evaluate_fingerprints(
                 self.suite,
                 fingerprints,
@@ -215,6 +260,13 @@ class IncrementalPipeline:
         # were scheduled) materializes lazily from the matrix bitsets.
         self._log_fps = fingerprints
         self._logs = None
+        self._emit(
+            LogsEvaluated(
+                n_logs=len(fingerprints),
+                fresh=self.matrix.pair_evaluations,
+                memoized=self.matrix.pair_hits,
+            )
+        )
         self.debugger = IncrementalDebugger()
         for evaluation in evaluations:  # sorted shard order
             self.debugger.merge(evaluation.counters)
@@ -239,6 +291,14 @@ class IncrementalPipeline:
         self.dag = ACDag.merge(dags)
         self.dag.restrict_to(set(self.fully) | {self.failure_pid})
         self._bootstrapped = True
+        from ..api.events import DagBuilt
+
+        self._emit(
+            DagBuilt(
+                n_nodes=self.dag.graph.number_of_nodes(),
+                n_edges=self.dag.graph.number_of_edges(),
+            )
+        )
 
     def _derive_fully(self) -> list[str]:
         failure_pids = set(self.suite.failure_pids())
@@ -292,12 +352,19 @@ class IncrementalPipeline:
             removed |= self.dag.restrict_to(
                 set(new_fully) | {self.failure_pid}
             )
-        return IngestResult(
+        result = IngestResult(
             fingerprint=fp,
             added=True,
             failed=failed,
             removed_pids=frozenset(removed),
         )
+        if self.bus is not None:
+            from ..api.events import DagPatched
+
+            self._emit(
+                DagPatched(fingerprint=fp, removed_pids=result.removed_pids)
+            )
+        return result
 
     # -- the from-scratch fallback --------------------------------------
 

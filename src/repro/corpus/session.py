@@ -60,6 +60,15 @@ class CorpusSession(AIDSession):
     def collect(self):
         """Stage 1 from the store: no executions, just loads."""
         if self._corpus is None:
+            from ..api.events import CollectionFinished, CorpusLoaded
+
+            self._emit(
+                CorpusLoaded(
+                    n_traces=len(self.store),
+                    n_pass=self.store.n_pass,
+                    n_fail=self.store.n_fail,
+                )
+            )
             corpus = self.store.labeled_corpus()
             if not corpus.failures:
                 raise CorpusError("corpus has no failed traces to debug from")
@@ -68,7 +77,15 @@ class CorpusSession(AIDSession):
                     "corpus has no successful traces to debug from"
                 )
             signature = corpus.dominant_failure_signature()
+            self._signature = signature
             self._corpus = corpus.restrict_failures(signature)
+            self._emit(
+                CollectionFinished(
+                    n_success=len(self._corpus.successes),
+                    n_fail=len(self._corpus.failures),
+                    signature=signature,
+                )
+            )
         return self._corpus
 
     def _evaluate_logs(self, traces) -> list[PredicateLog]:
@@ -77,6 +94,10 @@ class CorpusSession(AIDSession):
         return self.matrix.logs_for(
             self._suite, traces, engine=self.config.engine
         )
+
+    def _evaluation_counters(self):
+        """Matrix counters: fresh ``evaluate`` calls vs memo answers."""
+        return self.matrix.pair_evaluations, self.matrix.pair_hits
 
     def _workload_key(self) -> str:
         """Outcome-cache namespace for corpus-backed runs.

@@ -75,9 +75,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 MANIFEST_NAME = "manifest.json"
 MATRIX_NAME = "evalmatrix.json"
+SUITE_NAME = "suite.json"
 TRACES_DIR = "traces"
 SHARDS_DIR = "shards"
 STORE_VERSION = 2
+SUITE_FILE_VERSION = 1
 DEFAULT_SHARD_WIDTH = 2
 #: shard id used when sharding is disabled (width 0)
 SINGLE_SHARD_ID = "all"
@@ -237,6 +239,21 @@ class TraceStore:
             return SINGLE_SHARD_ID
         return fingerprint[: self.shard_width]
 
+    def is_valid_shard_id(self, shard_id: str) -> bool:
+        """Whether ``shard_id`` can be produced by this store's width.
+
+        Shard ids of a *different* width (seen mid-``reshard`` crash:
+        stale directories or index entries from the other layout) must
+        be ignored, never double-counted.  For a sharded store the id
+        must be a hex fingerprint prefix of exactly the right length —
+        the length check alone would let the width-0 sentinel ``"all"``
+        masquerade as a width-3 id."""
+        if self.shard_width == 0:
+            return shard_id == SINGLE_SHARD_ID
+        return len(shard_id) == self.shard_width and all(
+            c in "0123456789abcdef" for c in shard_id
+        )
+
     @property
     def shard_ids(self) -> list[str]:
         """Sorted ids of the non-empty shards."""
@@ -266,6 +283,68 @@ class TraceStore:
         from .matrix import ShardedEvalMatrix
 
         return ShardedEvalMatrix(self)
+
+    @property
+    def content_digest(self) -> str:
+        """Stable digest of the corpus *content*: the sorted trace
+        fingerprints.  Two corpora hold the same executions iff their
+        digests match, however they were assembled — the key persisted
+        artifacts (the frozen predicate suite, memoized intervention
+        outcomes) are filed under."""
+        return stable_digest(sorted(self.entries))
+
+    # -- the persisted predicate suite ----------------------------------
+
+    @property
+    def suite_path(self) -> Path:
+        return self.root / SUITE_NAME
+
+    def save_suite(
+        self,
+        suite,
+        signature: Optional[str] = None,
+        program: Optional[str] = None,
+    ) -> Path:
+        """Persist a frozen :class:`~repro.core.extraction.PredicateSuite`
+        keyed by the current :attr:`content_digest`, so a later analyze
+        over the *same* corpus content skips extractor rediscovery
+        entirely.  ``program`` records which live program's safety
+        filter shaped the suite (``None`` for an unattached analysis)."""
+        payload = {
+            "version": SUITE_FILE_VERSION,
+            "corpus_digest": self.content_digest,
+            "program": program,
+            "signature": signature,
+            "suite": suite.to_dict(),
+        }
+        _write_json(self.suite_path, payload, indent=None)
+        return self.suite_path
+
+    def load_suite(self, program: Optional[str] = None):
+        """The persisted suite, or ``None`` when it cannot stand in for
+        rediscovery: missing file, unknown version, a corpus whose
+        content changed since the suite froze (extractor thresholds are
+        calibrated on the whole corpus), or a different attached
+        program (the Section 3.3 safety filter depends on it)."""
+        path = self.suite_path
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            return None
+        if payload.get("version") != SUITE_FILE_VERSION:
+            return None
+        if payload.get("corpus_digest") != self.content_digest:
+            return None
+        if payload.get("program") != program:
+            return None
+        from ..core.extraction import PredicateSuite
+
+        try:
+            return PredicateSuite.from_dict(payload["suite"])
+        except (KeyError, TypeError, ValueError):
+            return None
 
     # -- ingestion -------------------------------------------------------
 
@@ -349,6 +428,137 @@ class TraceStore:
         for trace in self.traces():
             (corpus.failures if trace.failed else corpus.successes).append(trace)
         return corpus
+
+    # -- resharding ------------------------------------------------------
+
+    def reshard(self, width: int) -> dict:
+        """Rewrite the corpus under a new shard width, in place.
+
+        Built on :func:`~repro.corpus.matrix.merge_matrices` /
+        :func:`~repro.corpus.matrix.split_matrix`, so **every memoized
+        (predicate, trace) pair survives** — the first post-reshard
+        analyze performs zero fresh evaluations (asserted in tests).
+
+        Sequence (old layout stays readable until the commit point):
+        trace bodies are *copied* into their new shards, new shard
+        manifests and matrix files are written, then the top-level
+        manifest commits the new width, and finally the old shard
+        directories are removed.  Shard ids of the wrong width are
+        ignored everywhere (directories here, index entries in
+        :meth:`~repro.corpus.matrix.ShardedEvalMatrix.persisted_shard_ids`),
+        so a crash on either side of the commit leaves a consistent
+        view; re-running reshard — even with the already-committed
+        width — finishes the cleanup.
+
+        Returns a stats dict: ``n_traces``, ``shards_before``,
+        ``shards_after``, ``pairs_preserved``.
+        """
+        from .matrix import MATRIX_INDEX_VERSION, merge_matrices, split_matrix
+
+        if not 0 <= width <= 4:
+            raise CorpusError(
+                f"shard width must be between 0 and 4, got {width}"
+            )
+        old_width = self.shard_width
+        old_sids = self.shard_ids
+        if width == old_width:
+            # Still sweep stale other-width directories: a crash after
+            # the previous reshard's commit point but before its cleanup
+            # leaves them behind, and the documented recovery is to
+            # re-run reshard with the (now current) width.
+            self._drop_stale_shard_dirs()
+            return {
+                "n_traces": len(self.entries),
+                "shards_before": len(old_sids),
+                "shards_after": len(old_sids),
+                "pairs_preserved": 0,
+            }
+
+        def new_shard_id(fp: str) -> str:
+            return fp[:width] if width else SINGLE_SHARD_ID
+
+        # 1. Fold every persisted shard matrix into one, then split it
+        #    along the new layout (pair-preserving by construction).
+        matrix = self.eval_matrix()
+        merged = merge_matrices(
+            matrix.shard(sid) for sid in matrix.persisted_shard_ids()
+        )
+        new_matrices = split_matrix(merged, new_shard_id)
+
+        # 2. Copy trace bodies into their new shards (old bodies stay
+        #    until the commit point).
+        by_new_shard: dict[str, dict[str, TraceEntry]] = {}
+        for fp, entry in self.entries.items():
+            by_new_shard.setdefault(new_shard_id(fp), {})[fp] = entry
+            src = self.trace_path(fp)
+            dst = (
+                self.root / SHARDS_DIR / new_shard_id(fp)
+                / TRACES_DIR / f"{fp}.json"
+            )
+            if src == dst or dst.exists():
+                continue
+            if not src.exists():
+                raise CorpusError(
+                    f"cannot reshard {self.root}: manifest lists {fp} "
+                    f"but {src} is gone"
+                )
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            dst.write_bytes(src.read_bytes())
+
+        # 3. New shard manifests and matrix files, plus the matrix index.
+        for sid, rows in by_new_shard.items():
+            _write_json(
+                self.root / SHARDS_DIR / sid / MANIFEST_NAME,
+                {"traces": {fp: e.to_dict() for fp, e in sorted(rows.items())}},
+            )
+        matrix_sids = []
+        for sid, shard_matrix in sorted(new_matrices.items()):
+            shard_matrix.save(self.root / SHARDS_DIR / sid / MATRIX_NAME)
+            matrix_sids.append(sid)
+        _write_json(
+            self.matrix_index_path,
+            {"version": MATRIX_INDEX_VERSION, "shards": matrix_sids},
+            indent=None,
+        )
+
+        # 4. Commit: the top-level manifest now names the new layout.
+        self.shard_width = width
+        self._dirty.clear()
+        _write_json(
+            self.root / MANIFEST_NAME,
+            {
+                "version": STORE_VERSION,
+                "program": self._program,
+                "shard_width": width,
+                "shards": sorted(by_new_shard),
+            },
+        )
+
+        # 5. Cleanup: old and new shard ids never collide (different
+        #    widths name different-shaped directories), so every
+        #    directory outside the new layout is stale.  Shards that
+        #    hold only matrix columns (evicted traces awaiting compact)
+        #    are part of the new layout too.
+        self._drop_stale_shard_dirs()
+
+        return {
+            "n_traces": len(self.entries),
+            "shards_before": len(old_sids),
+            "shards_after": len(by_new_shard),
+            "pairs_preserved": merged.n_pairs,
+        }
+
+    def _drop_stale_shard_dirs(self) -> None:
+        """Remove shard directories whose id cannot belong to the
+        current width — leftovers of an interrupted :meth:`reshard`."""
+        import shutil
+
+        shards_root = self.root / SHARDS_DIR
+        if not shards_root.is_dir():
+            return
+        for path in shards_root.iterdir():
+            if path.is_dir() and not self.is_valid_shard_id(path.name):
+                shutil.rmtree(path, ignore_errors=True)
 
     # -- bookkeeping -----------------------------------------------------
 

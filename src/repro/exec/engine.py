@@ -52,6 +52,7 @@ from .cache import OutcomeCache, RunRequest
 from .stats import ExecStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.events import EventBus
     from ..core.intervention import RunOutcome
 
 #: Executes one request; must be a pure function of the request for
@@ -191,10 +192,14 @@ class ExecutionEngine:
         backend: Optional[Backend] = None,
         cache: Optional[OutcomeCache] = None,
         stats: Optional[ExecStats] = None,
+        bus: Optional["EventBus"] = None,
     ) -> None:
         self.backend = backend or SerialBackend()
         self.cache = cache if cache is not None else OutcomeCache()
         self.stats = stats or ExecStats()
+        #: optional observer seam: round boundaries are emitted as
+        #: ``intervention-round`` events (see :mod:`repro.api.events`)
+        self.bus = bus
         self.scheduler = BatchScheduler(self)
         #: One timing wrapper per run_fn (bound methods hash by
         #: instance+function, so every wave of a runner reuses the same
@@ -220,8 +225,15 @@ class ExecutionEngine:
         return self.scheduler.run_independent(groups, run_fn, early_stop)
 
     def note_round(self, phase: str) -> None:
-        """Algorithms mark round boundaries for the stats report."""
+        """Algorithms mark round boundaries for the stats report (and
+        any subscribed observers — the live progress seam)."""
         self.stats.note_round(phase)
+        if self.bus is not None:
+            from ..api.events import InterventionRound
+
+            self.bus.emit(
+                InterventionRound(phase=phase, index=self.stats.rounds[phase])
+            )
 
     # -- low-level dispatch ---------------------------------------------
 
@@ -263,3 +275,25 @@ class ExecutionEngine:
 
     def close(self) -> None:
         self.backend.close()
+
+    def finish(self) -> str:
+        """Flush, close, and return the human-readable summary — the
+        one teardown path every CLI subcommand and :func:`repro.api.run`
+        share.  Also emits an ``engine-finished`` event."""
+        saved = self.flush()
+        self.close()
+        lines = [self.stats.report()]
+        if saved is not None:
+            lines.append(f"outcome cache: {len(self.cache)} entries -> {saved}")
+        summary = "\n".join(lines)
+        if self.bus is not None:
+            from ..api.events import EngineFinished
+
+            self.bus.emit(
+                EngineFinished(
+                    summary=summary,
+                    executed=self.stats.executed,
+                    cached=self.stats.cached,
+                )
+            )
+        return summary

@@ -21,7 +21,7 @@ from ..core.discovery import DiscoveryResult
 from ..core.extraction import Extractor, PredicateSuite
 from ..core.intervention import SimulationRunner
 from ..core.precedence import PrecedencePolicy, default_policy
-from ..core.report import Explanation, explain
+from ..core.report import Explanation, explain, report_to_dict
 from ..core.statistical import PredicateLog, StatisticalDebugger
 from ..core.variants import Approach, discover
 from ..sim.program import Program
@@ -29,6 +29,7 @@ from ..sim.scheduler import DEFAULT_MAX_STEPS, Simulator
 from .runner import LabeledCorpus, collect
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.events import Event, EventBus
     from ..exec.engine import ExecutionEngine
 
 
@@ -51,21 +52,43 @@ class SessionConfig:
     #: ``None`` gives each runner a private serial engine — bit-identical
     #: to historical in-line execution.
     engine: Optional["ExecutionEngine"] = None
+    #: Observer seam (see :mod:`repro.api.events`): the session emits
+    #: phase events onto this bus.  Observers never affect results.
+    bus: Optional["EventBus"] = None
 
 
 @dataclass
 class SessionReport:
-    """Everything a session learned, for inspection and experiments."""
+    """Everything a session learned, for inspection and experiments.
 
-    program: Program
-    corpus: LabeledCorpus
-    suite: PredicateSuite
-    debugger: StatisticalDebugger
-    fully_discriminative: list[str]
-    dag: ACDag
-    discovery: DiscoveryResult
-    explanation: Explanation
-    approach: Approach
+    Full sessions (live or corpus-backed) populate every field;
+    analyze-only runs (``repro corpus analyze`` through the API's
+    incremental mode) leave ``corpus``, ``discovery``, ``explanation``,
+    and ``approach`` as ``None`` and carry their log counts in
+    ``n_success``/``n_fail`` instead.  :meth:`to_dict` renders either
+    shape as the versioned JSON schema
+    (:data:`repro.core.report.REPORT_SCHEMA_VERSION`).
+    """
+
+    program: Optional[Program] = None
+    corpus: Optional[LabeledCorpus] = None
+    suite: PredicateSuite = field(default_factory=PredicateSuite)
+    #: batch or incremental debugger — anything with ``stats()``
+    debugger: object = None
+    fully_discriminative: list[str] = field(default_factory=list)
+    dag: Optional[ACDag] = None
+    discovery: Optional[DiscoveryResult] = None
+    explanation: Optional[Explanation] = None
+    approach: Optional[Approach] = None
+    #: the failure signature the analysis was restricted to
+    signature: Optional[str] = None
+    #: analyzed-log counts when ``corpus`` bodies were never
+    #: materialized (incremental analyze); ``None`` otherwise
+    n_success: Optional[int] = None
+    n_fail: Optional[int] = None
+    #: program name fallback when no live :class:`Program` is attached
+    #: (an unbundled program analyzed from a stored corpus)
+    program_name: Optional[str] = None
 
     @property
     def n_sd_predicates(self) -> int:
@@ -75,16 +98,22 @@ class SessionReport:
 
     @property
     def causal_path(self) -> list[str]:
-        return self.discovery.causal_path
+        return self.discovery.causal_path if self.discovery else []
 
     @property
     def n_causal(self) -> int:
         """Causal path length excluding F (Figure 7 column 4)."""
-        return max(0, len(self.discovery.causal_path) - 1)
+        return max(0, len(self.causal_path) - 1)
 
     @property
     def n_rounds(self) -> int:
-        return self.discovery.n_rounds
+        return self.discovery.n_rounds if self.discovery else 0
+
+    def to_dict(self) -> dict:
+        """The versioned, deterministic JSON payload of this report —
+        one schema shared by ``repro run --json``, the benchmarks, and
+        the tests (see :func:`repro.core.report.report_to_dict`)."""
+        return report_to_dict(self)
 
 
 class AIDSession:
@@ -100,13 +129,28 @@ class AIDSession:
         self._failure_pid: Optional[str] = None
         self._debugger: Optional[StatisticalDebugger] = None
         self._fully: Optional[list[str]] = None
+        self._signature: Optional[str] = None
+
+    def _emit(self, event: "Event") -> None:
+        """Observer seam: no-op without a bus; never affects results."""
+        if self.config.bus is not None:
+            self.config.bus.emit(event)
 
     # -- pipeline stages (each cached, callable individually) -----------
 
     def collect(self) -> LabeledCorpus:
         """Stage 1: gather labeled traces (one failure signature)."""
         if self._corpus is None:
+            from ..api.events import CollectionFinished, CollectionStarted
+
             cfg = self.config
+            self._emit(
+                CollectionStarted(
+                    program=self.program.name,
+                    n_success=cfg.n_success,
+                    n_fail=cfg.n_fail,
+                )
+            )
             corpus = collect(
                 self.program,
                 n_success=cfg.n_success,
@@ -115,12 +159,22 @@ class AIDSession:
                 max_steps=cfg.max_steps,
             )
             signature = corpus.dominant_failure_signature()
+            self._signature = signature
             self._corpus = corpus.restrict_failures(signature)
+            self._emit(
+                CollectionFinished(
+                    n_success=len(self._corpus.successes),
+                    n_fail=len(self._corpus.failures),
+                    signature=signature,
+                )
+            )
         return self._corpus
 
     def analyze(self) -> StatisticalDebugger:
         """Stages 2-3: predicate extraction + statistical debugging."""
         if self._debugger is None:
+            from ..api.events import LogsEvaluated, SuiteFrozen
+
             corpus = self.collect()
             self._suite = PredicateSuite.discover(
                 corpus.successes,
@@ -128,8 +182,15 @@ class AIDSession:
                 extractors=self.config.extractors,
                 program=self.program,
             )
+            self._emit(SuiteFrozen(n_predicates=len(self._suite)))
             self._logs = self._evaluate_logs(
                 corpus.successes + corpus.failures
+            )
+            fresh, memoized = self._evaluation_counters()
+            self._emit(
+                LogsEvaluated(
+                    n_logs=len(self._logs), fresh=fresh, memoized=memoized
+                )
             )
             self._debugger = StatisticalDebugger(logs=self._logs)
             failure_pids = [
@@ -159,6 +220,12 @@ class AIDSession:
         """
         return self._suite.evaluate_all(traces)
 
+    def _evaluation_counters(self) -> tuple[Optional[int], Optional[int]]:
+        """(fresh, memoized) evaluation counts for the ``logs-evaluated``
+        event — ``(None, None)`` when evaluation is not memoized (live
+        sessions); overridden by :class:`~repro.corpus.session.CorpusSession`."""
+        return None, None
+
     @property
     def failure_pid(self) -> str:
         self.analyze()
@@ -172,6 +239,8 @@ class AIDSession:
     def build_dag(self) -> ACDag:
         """Stage 4: temporal precedence → AC-DAG."""
         if self._dag is None:
+            from ..api.events import DagBuilt
+
             self.analyze()
             failed_logs = [log for log in self._logs if log.failed]
             self._dag = ACDag.build(
@@ -180,6 +249,12 @@ class AIDSession:
                 failure=self._failure_pid,
                 policy=self.config.policy or default_policy(),
                 candidate_pids=self._fully,
+            )
+            self._emit(
+                DagBuilt(
+                    n_nodes=self._dag.graph.number_of_nodes(),
+                    n_edges=self._dag.graph.number_of_edges(),
+                )
             )
         return self._dag
 
@@ -238,6 +313,7 @@ class AIDSession:
             discovery=discovery,
             explanation=explanation,
             approach=Approach(approach),
+            signature=self._signature,
         )
 
 

@@ -25,9 +25,10 @@ numbers for EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, MutableMapping, Optional
+from dataclasses import dataclass
+from typing import MutableMapping, Optional
 
+from ..api.registry import workloads as _WORKLOAD_REGISTRY
 from ..sim.errors import SimulatedError
 from ..sim.program import MethodFn, Program
 
@@ -126,29 +127,7 @@ def readonly_names(
     return frozenset(auto | set(extra))
 
 
-@dataclass
-class WorkloadRegistry:
-    """Name → builder registry for the case studies."""
-
-    builders: dict[str, Callable[[], Workload]] = field(default_factory=dict)
-
-    def register(self, name: str):
-        def decorator(builder: Callable[[], Workload]):
-            self.builders[name] = builder
-            return builder
-
-        return decorator
-
-    def build(self, name: str) -> Workload:
-        try:
-            builder = self.builders[name]
-        except KeyError:
-            known = ", ".join(sorted(self.builders))
-            raise KeyError(f"unknown workload {name!r} (known: {known})") from None
-        return builder()
-
-    def names(self) -> list[str]:
-        return sorted(self.builders)
-
-
-REGISTRY = WorkloadRegistry()
+#: The case-study registry — the *same object* as
+#: :data:`repro.api.registry.workloads`, so bundled and third-party
+#: workloads share one namespace (and one ``RegistryError`` behaviour).
+REGISTRY = _WORKLOAD_REGISTRY

@@ -1,0 +1,291 @@
+"""Old-vs-new suite evaluation and discovery: the evalkernel, measured.
+
+What the tentpole promises, timed on the npgsql and kafka workloads:
+
+* **Suite evaluation** — "old" replays the pre-kernel data path through
+  a :class:`LegacyTraceView` (linear-scan ``lookup``, a fresh sort per
+  ``method_executions`` call) with the per-predicate evaluation loop;
+  "new" is ``suite.evaluate_all`` through the cached trace index and the
+  key-grouped :class:`~repro.core.evalkernel.SuiteKernel`.  The logs are
+  asserted observation-identical before any timing is reported.
+* **Discovery** — "old" is single-phase extractor discovery over legacy
+  views with the seed's all-pairs ordered-pairs walk
+  (:class:`LegacyOrderViolationExtractor`); "new" is two-phase
+  propose/calibrate, serial and fanned over an 8-job engine.  Suites
+  are asserted fingerprint-identical across all three.
+
+The result lands in ``BENCH_eval.json`` (committed at the repo root and
+uploaded by the CI ``perf-smoke`` job)::
+
+    {
+      "workloads": {"npgsql": {"suite_eval": {...}, "discovery": {...}}, ...},
+      "largest_workload": "kafka",
+      "suite_eval_speedup_largest": ...,
+      "cpu_count": ...,
+    }
+
+On a single-core runner the parallel-discovery number is honestly ~1x
+(``cpu_count`` is recorded so readers can tell); the suite-evaluation
+speedup is algorithmic — index + kernel vs rescans — and holds on any
+core count.
+
+Run:  PYTHONPATH=src python benchmarks/bench_eval.py
+Env:  REPRO_FULL=1 for paper-scale trace counts,
+      REPRO_BENCH_JOBS / REPRO_BENCH_ROUNDS to override defaults.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.core.extraction import (
+    DataRaceExtractor,
+    DurationExtractor,
+    FailureExtractor,
+    MethodExecutedExtractor,
+    MethodFailsExtractor,
+    OrderViolationExtractor,
+    PredicateSuite,
+    WrongReturnExtractor,
+)
+from repro.exec import ExecutionEngine, make_backend
+from repro.harness.runner import collect
+from repro.sim.tracing import MethodExecution, MethodKey
+from repro.workloads.common import REGISTRY
+
+WORKLOADS = ("npgsql", "kafka")
+N_PER_LABEL = 512 if os.environ.get("REPRO_FULL") else 128
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "8"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+
+
+class LegacyTraceView:
+    """The seed's trace-reading contract, for an honest "old" baseline.
+
+    Wraps a trace but answers ``lookup`` by linear scan over the call
+    list and ``method_executions`` with a fresh sort per call — exactly
+    the pre-index behaviour the kernel retired.
+    """
+
+    def __init__(self, trace) -> None:
+        self._calls = trace.method_executions()
+        self.program_name = trace.program_name
+        self.seed = trace.seed
+        self.failure = trace.failure
+        self.failed = trace.failed
+
+    def method_executions(self) -> list[MethodExecution]:
+        return sorted(self._calls, key=lambda m: (m.start_time, m.call_id))
+
+    def executions_of(self, method: str):
+        return (m for m in self.method_executions() if m.method == method)
+
+    def lookup(self, key: MethodKey) -> Optional[MethodExecution]:
+        for m in self._calls:
+            if m.key == key:
+                return m
+        return None
+
+    def accesses(self):
+        for m in self.method_executions():
+            yield from m.accesses
+
+
+class LegacyOrderViolationExtractor(OrderViolationExtractor):
+    """The seed's O(keys²)-per-trace ordered-pairs materialization.
+
+    A subclass (so it is *not* in ``TWO_PHASE_EXTRACTORS``) that
+    restores the all-pairs comparison walk the sort-based sweep
+    replaced — the discovery baseline to beat.
+    """
+
+    def discover(self, successes, failures):
+        if not successes:
+            return []
+        ordered = None
+        for trace in successes:
+            execs = {m.key: m for m in trace.method_executions()}
+            pairs = set()
+            keys = sorted(execs)
+            for first in keys:
+                for second in keys:
+                    if first == second:
+                        continue
+                    mf, ms = execs[first], execs[second]
+                    if mf.thread == ms.thread:
+                        continue
+                    if mf.end_time <= ms.start_time:
+                        pairs.add((first, second))
+            ordered = pairs if ordered is None else (ordered & pairs)
+        violated = []
+        for first, second in sorted(ordered or ()):
+            for trace in failures:
+                mf, ms = trace.lookup(first), trace.lookup(second)
+                if mf and ms and ms.start_time < mf.end_time:
+                    violated.append((first, second))
+                    break
+        latest_end: dict[MethodKey, float] = {}
+        earliest_start: dict[MethodKey, float] = {}
+        for trace in successes:
+            for m in trace.method_executions():
+                latest_end[m.key] = max(latest_end.get(m.key, 0), m.end_time)
+                earliest_start[m.key] = min(
+                    earliest_start.get(m.key, float("inf")), m.start_time
+                )
+        return self._canonicalize(violated, latest_end, earliest_start)
+
+
+def _legacy_extractors():
+    return [
+        DataRaceExtractor(),
+        MethodFailsExtractor(),
+        DurationExtractor(),
+        WrongReturnExtractor(),
+        LegacyOrderViolationExtractor(),
+        MethodExecutedExtractor(),
+        FailureExtractor(),
+    ]
+
+
+def _best(fn, rounds: int = ROUNDS) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _evaluate_legacy(suite, views):
+    logs = []
+    for view in views:
+        observations = {}
+        for pid, pred in suite.defs.items():
+            obs = pred.evaluate(view)
+            if obs is not None:
+                observations[pid] = obs
+        logs.append(observations)
+    return logs
+
+
+def bench_workload(name: str, engine: ExecutionEngine) -> dict:
+    program = REGISTRY.build(name).program
+    corpus = collect(program, n_success=N_PER_LABEL, n_fail=N_PER_LABEL)
+    corpus = corpus.restrict_failures(corpus.dominant_failure_signature())
+    traces = corpus.successes + corpus.failures
+    succ_views = [LegacyTraceView(t) for t in corpus.successes]
+    fail_views = [LegacyTraceView(t) for t in corpus.failures]
+    views = succ_views + fail_views
+    n_calls = sum(len(t.method_executions()) for t in traces)
+
+    # -- discovery: old single-phase vs new two-phase (serial and fanned)
+    old_disc_s, old_suite = _best(
+        lambda: PredicateSuite.discover(
+            succ_views,
+            fail_views,
+            extractors=_legacy_extractors(),
+            program=program,
+            two_phase=False,
+        )
+    )
+    new_disc_s, new_suite = _best(
+        lambda: PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=program
+        )
+    )
+    par_disc_s, par_suite = _best(
+        lambda: PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=program, engine=engine
+        )
+    )
+    assert old_suite.fingerprint == new_suite.fingerprint == par_suite.fingerprint, (
+        f"{name}: discovery paths disagree"
+    )
+
+    # -- suite evaluation: per-predicate over legacy views vs the kernel
+    old_eval_s, old_logs = _best(lambda: _evaluate_legacy(new_suite, views))
+    new_eval_s, new_logs = _best(lambda: new_suite.evaluate_all(traces))
+    assert [dict(log.observations) for log in new_logs] == old_logs, (
+        f"{name}: evaluation paths disagree"
+    )
+
+    return {
+        "traces": len(traces),
+        "calls": n_calls,
+        "suite_predicates": len(new_suite),
+        "suite_eval": {
+            "old_seconds": old_eval_s,
+            "new_seconds": new_eval_s,
+            "speedup": old_eval_s / new_eval_s,
+        },
+        "discovery": {
+            "old_seconds": old_disc_s,
+            "new_serial_seconds": new_disc_s,
+            "speedup": old_disc_s / new_disc_s,
+            "jobs8_seconds": par_disc_s,
+            "parallel_speedup": new_disc_s / par_disc_s,
+        },
+        "results_identical": True,
+    }
+
+
+def main() -> int:
+    backend_name = (
+        "process"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "thread"
+    )
+    engine = ExecutionEngine(backend=make_backend(backend_name, JOBS))
+    try:
+        workloads = {name: bench_workload(name, engine) for name in WORKLOADS}
+    finally:
+        engine.close()
+
+    largest = max(workloads, key=lambda name: workloads[name]["calls"])
+    payload = {
+        "workloads": workloads,
+        "largest_workload": largest,
+        "suite_eval_speedup_largest": workloads[largest]["suite_eval"]["speedup"],
+        "traces_per_label": N_PER_LABEL,
+        "rounds": ROUNDS,
+        "jobs": JOBS,
+        "backend": backend_name,
+        "cpu_count": os.cpu_count(),
+    }
+    out = Path("BENCH_eval.json")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    for name, result in workloads.items():
+        se, disc = result["suite_eval"], result["discovery"]
+        print(
+            f"{name}: {result['traces']} traces, {result['calls']} calls, "
+            f"{result['suite_predicates']} predicates"
+        )
+        print(
+            f"  suite eval : old {se['old_seconds']:.3f}s -> "
+            f"new {se['new_seconds']:.3f}s  ({se['speedup']:.2f}x)"
+        )
+        print(
+            f"  discovery  : old {disc['old_seconds']:.3f}s -> "
+            f"new {disc['new_serial_seconds']:.3f}s "
+            f"({disc['speedup']:.2f}x), "
+            f"{JOBS} jobs {disc['jobs8_seconds']:.3f}s "
+            f"({disc['parallel_speedup']:.2f}x vs serial "
+            f"on {os.cpu_count()} CPU(s))"
+        )
+    print(
+        f"largest workload {largest!r}: suite-eval speedup "
+        f"{payload['suite_eval_speedup_largest']:.2f}x"
+    )
+    print(f"wrote {out.resolve()}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

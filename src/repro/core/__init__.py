@@ -19,6 +19,13 @@ the Section 6 bounds.
 from .acdag import ACDag, Branch, GraphInvariantError
 from .branch import BranchPruneResult, branch_prune
 from .discovery import DiscoveryResult, causal_path_discovery, linear_discovery
+from .evalkernel import (
+    BitsetCounter,
+    CorpusSummary,
+    SuiteKernel,
+    popcount_split,
+    summarize_corpus,
+)
 from .extraction import (
     CompoundConjunctionExtractor,
     DataRaceExtractor,
@@ -29,6 +36,7 @@ from .extraction import (
     MethodFailsExtractor,
     OrderViolationExtractor,
     PredicateSuite,
+    TWO_PHASE_EXTRACTORS,
     WrongReturnExtractor,
     default_extractors,
 )
@@ -76,10 +84,12 @@ from .variants import Approach, all_approaches, discover
 __all__ = [
     "ACDag",
     "Approach",
+    "BitsetCounter",
     "Branch",
     "BranchPruneResult",
     "CompoundAndPredicate",
     "CompoundConjunctionExtractor",
+    "CorpusSummary",
     "CountingRunner",
     "DataRaceExtractor",
     "DataRacePredicate",
@@ -118,6 +128,8 @@ __all__ = [
     "SimulationRunner",
     "StartTimePolicy",
     "StatisticalDebugger",
+    "SuiteKernel",
+    "TWO_PHASE_EXTRACTORS",
     "TooFastPredicate",
     "TooSlowPredicate",
     "WrongReturnPredicate",
@@ -131,7 +143,9 @@ __all__ = [
     "explain",
     "linear_discovery",
     "observational_prunes",
+    "popcount_split",
     "render_sd_ranking",
     "split_logs",
+    "summarize_corpus",
     "topological_item_order",
 ]

@@ -1,0 +1,503 @@
+"""The single-pass evaluation kernel: indexed traces in, bitsets out.
+
+Role
+----
+Everything AID computes reduces to one inner loop — evaluate every
+predicate of a frozen suite against every execution trace, then count
+discriminative power.  This module is that loop, made single-pass at
+every layer:
+
+* :class:`SuiteKernel` — key-grouped batch evaluation of a frozen
+  suite over one trace.  Predicates are grouped by
+  :class:`~repro.core.predicates.PredicateKind` at kernel-build time
+  (once per frozen suite); per trace the kernel resolves the trace's
+  :meth:`~repro.sim.tracing.ExecutionTrace.executions_by_key` index
+  once and drives every key-based predicate through its
+  ``evaluate_indexed`` hook — no linear scans, no re-sorting, no
+  per-predicate trace walks.  Output is byte-identical to calling
+  ``pred.evaluate(trace)`` per predicate (asserted property-style in
+  the tests).
+* :class:`BitsetCounter` — the popcount counting kernel shared by
+  :class:`~repro.core.statistical.StatisticalDebugger`, the corpus
+  :class:`~repro.corpus.matrix.EvalMatrix`, and the shard-parallel
+  pipeline: per-pid observation bitsets over execution columns plus a
+  failed-column mask turn precision/recall counting into two
+  ``int.bit_count`` calls (:func:`popcount_split`).
+* :class:`CorpusSummary` — the **propose** half of two-phase extractor
+  discovery: one pass over each trace collects every per-trace fact the
+  default extractor catalogue needs (exception sites, duration/return
+  aggregates, key presence, success-order pairs via a sort-based sweep,
+  race candidates, failure signatures).  Summaries form a commutative
+  monoid under :meth:`CorpusSummary.merge`, so the propose phase fans
+  out over trace chunks through :class:`~repro.exec.engine.ExecutionEngine`
+  (:func:`summarize_corpus`) and reduces to the same summary for any
+  job count.  The serial **calibrate** phase (envelope/order-baseline
+  intersection) lives with the extractors in
+  :mod:`repro.core.extraction`.
+
+Invariants
+----------
+* kernel evaluation equals per-predicate evaluation — same
+  :class:`Observation` objects, same observation order;
+* ``summarize_corpus(engine=N jobs)`` equals the serial fold — every
+  summary field is order-independent under merge (unions,
+  intersections, min/max, sums, distinct-caps);
+* nothing here persists; the kernel and summaries are derived state,
+  rebuilt from traces on demand.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+
+from ..sim.tracing import MethodExecution, MethodKey
+from .predicates import Observation, PredicateDef, PredicateKind, racy_window
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
+
+#: Exception kinds that mark harness artifacts, not program behaviour
+#: (re-exported by :mod:`repro.core.extraction` for its extractors).
+IGNORED_EXCEPTIONS = frozenset({"Unfinished"})
+
+
+# ---------------------------------------------------------------------------
+# Key-grouped batch evaluation
+# ---------------------------------------------------------------------------
+
+
+class SuiteKernel:
+    """Batch evaluator for one frozen predicate-definition table.
+
+    Built once per suite (see
+    :meth:`~repro.core.extraction.PredicateSuite.kernel`): predicates
+    supporting the indexed protocol are grouped by kind into flat
+    ``(pid, evaluate_indexed)`` lists; the rest (failure predicates,
+    compounds, third-party classes) keep their whole-trace ``evaluate``.
+    Per trace, one key-index resolution serves every group.
+    """
+
+    def __init__(self, defs: Mapping[str, PredicateDef]) -> None:
+        #: the suite's pid order — kernel output preserves it exactly
+        self.pids: tuple[str, ...] = tuple(defs)
+        self._indexed: list[tuple[PredicateKind, list[tuple[str, object]]]] = []
+        self._general: list[tuple[str, object]] = []
+        groups: dict[PredicateKind, list[tuple[str, object]]] = {}
+        for pid, pred in defs.items():
+            if pred.supports_indexed:
+                groups.setdefault(pred.kind, []).append(
+                    (pid, pred.evaluate_indexed)
+                )
+            else:
+                self._general.append((pid, pred.evaluate))
+        # Deterministic group order: the catalogue enum's order.
+        for kind in PredicateKind:
+            if kind in groups:
+                self._indexed.append((kind, groups[kind]))
+
+    def observations(
+        self, trace, only: Optional[frozenset | set] = None
+    ) -> dict[str, Observation]:
+        """Evaluate the suite on one trace in a single indexed pass.
+
+        ``only`` restricts evaluation to a pid subset (the eval matrix
+        passes its undecided pids).  The returned dict is ordered by the
+        suite's definition order — identical, entry for entry, to the
+        per-predicate loop it replaces.
+        """
+        by_key = getattr(trace, "executions_by_key", None)
+        find = by_key().get if by_key is not None else trace.lookup
+        found: dict[str, Observation] = {}
+        for _, group in self._indexed:
+            for pid, evaluate_indexed in group:
+                if only is not None and pid not in only:
+                    continue
+                obs = evaluate_indexed(find)
+                if obs is not None:
+                    found[pid] = obs
+        for pid, evaluate in self._general:
+            if only is not None and pid not in only:
+                continue
+            obs = evaluate(trace)
+            if obs is not None:
+                found[pid] = obs
+        if not found:
+            return found
+        # Kind-grouped evaluation filled ``found`` out of suite order;
+        # restore the definition order the per-predicate loop had.
+        return {pid: found[pid] for pid in self.pids if pid in found}
+
+
+# ---------------------------------------------------------------------------
+# The popcount counting kernel
+# ---------------------------------------------------------------------------
+
+
+def popcount_split(bits: int, failed_mask: int) -> tuple[int, int]:
+    """``(in_failed, in_success)`` for one observation bitset.
+
+    The one counting primitive behind every SD statistic in the repo:
+    a row's failed-column popcount and its complement.
+    """
+    in_failed = (bits & failed_mask).bit_count()
+    return in_failed, bits.bit_count() - in_failed
+
+
+class BitsetCounter:
+    """Columnar observation bitsets over a growing set of executions.
+
+    One column per execution, one arbitrary-precision-int row per
+    observed pid, plus a failed-column mask: precision/recall counting
+    is :func:`popcount_split` per pid instead of a rescan of every log.
+    """
+
+    __slots__ = ("n_columns", "failed_mask", "observed")
+
+    def __init__(self) -> None:
+        self.n_columns = 0
+        self.failed_mask = 0
+        #: pid -> bitset over columns (bit set = predicate observed)
+        self.observed: dict[str, int] = {}
+
+    def add_column(self, pids: Iterable[str], failed: bool) -> int:
+        """Append one execution's observed-pid set; returns its column."""
+        column = self.n_columns
+        self.n_columns = column + 1
+        bit = 1 << column
+        if failed:
+            self.failed_mask |= bit
+        observed = self.observed
+        for pid in pids:
+            observed[pid] = observed.get(pid, 0) | bit
+        return column
+
+    @property
+    def n_failed(self) -> int:
+        return self.failed_mask.bit_count()
+
+    @property
+    def n_success(self) -> int:
+        return self.n_columns - self.failed_mask.bit_count()
+
+    def counts(self, pid: str) -> tuple[int, int]:
+        """(true_in_failed, true_in_success) by popcount."""
+        return popcount_split(self.observed.get(pid, 0), self.failed_mask)
+
+
+# ---------------------------------------------------------------------------
+# Two-phase discovery: the propose half
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DistinctCap:
+    """"How many distinct values?" capped at two — all any extractor asks.
+
+    Tracks a stream of values by equality: after absorbing any number of
+    them it knows whether none, exactly one, or more than one distinct
+    value appeared (``value`` is meaningful only in the exactly-one
+    case).  Merging two caps is order-independent for that question,
+    which is what makes per-chunk summaries reducible.
+    """
+
+    seen: bool = False
+    multi: bool = False
+    value: object = None
+
+    def add(self, value: object) -> None:
+        if not self.seen:
+            self.seen = True
+            self.value = value
+        elif not self.multi and value != self.value:
+            self.multi = True
+
+    def merge(self, other: "DistinctCap") -> None:
+        if not other.seen:
+            return
+        if not self.seen:
+            self.seen, self.multi, self.value = True, other.multi, other.value
+            return
+        if other.multi or other.value != self.value:
+            self.multi = True
+
+    @property
+    def single(self) -> Optional[object]:
+        """The unique value, or ``None`` when none or several."""
+        return self.value if self.seen and not self.multi else None
+
+
+@dataclass
+class KeyStats:
+    """Per-:class:`MethodKey` aggregates over one side of the corpus.
+
+    ``n_completed``/durations/returns cover *completed* executions
+    (``exception is None``) — the only ones the duration and return
+    extractors reason about.  ``returns`` ingests hashable values only
+    on the success side (mirroring the extractors' ``_hashable`` filter)
+    and every completed value on the failure side (distinctness there is
+    by equality, which is all the mismatch test needs).
+    """
+
+    n_present: int = 0
+    n_completed: int = 0
+    min_duration: int = 0
+    max_duration: int = 0
+    returns: DistinctCap = field(default_factory=DistinctCap)
+
+    def add_completed(self, duration: int) -> None:
+        if self.n_completed == 0:
+            self.min_duration = self.max_duration = duration
+        else:
+            if duration < self.min_duration:
+                self.min_duration = duration
+            if duration > self.max_duration:
+                self.max_duration = duration
+        self.n_completed += 1
+
+    def merge(self, other: "KeyStats") -> None:
+        self.n_present += other.n_present
+        if other.n_completed:
+            if self.n_completed == 0:
+                self.min_duration = other.min_duration
+                self.max_duration = other.max_duration
+            else:
+                self.min_duration = min(self.min_duration, other.min_duration)
+                self.max_duration = max(self.max_duration, other.max_duration)
+            self.n_completed += other.n_completed
+        self.returns.merge(other.returns)
+
+
+def ordered_cross_thread_pairs(
+    execs: Sequence[MethodExecution],
+) -> set[tuple[MethodKey, MethodKey]]:
+    """Strictly-ordered cross-thread pairs of one trace, by sweep.
+
+    ``execs`` must be in start-time order (what ``method_executions``
+    yields).  For each invocation the candidates that start at or after
+    its end form a suffix of the start-sorted list, found by bisection —
+    output-sensitive O(k log k + pairs) instead of the all-pairs
+    O(k²) comparison walk, with an identical result set.
+    """
+    starts = [m.start_time for m in execs]
+    pairs: set[tuple[MethodKey, MethodKey]] = set()
+    for mf in execs:
+        first_key = mf.key
+        thread = mf.thread
+        for ms in execs[bisect_left(starts, mf.end_time):]:
+            if ms.thread != thread:
+                pairs.add((first_key, ms.key))
+    return pairs
+
+
+def race_candidates(trace) -> set[tuple[MethodKey, MethodKey, str]]:
+    """Canonicalized lockset-race candidate triples of one trace.
+
+    The per-trace half of
+    :class:`~repro.core.extraction.DataRaceExtractor`: every overlapping
+    cross-thread invocation pair sharing an object where
+    :func:`~repro.core.predicates.racy_window` fires.
+    """
+    candidates: set[tuple[MethodKey, MethodKey, str]] = set()
+    execs = trace.method_executions()
+    for i, ma in enumerate(execs):
+        a_objs = {a.obj for a in ma.accesses}
+        for mb in execs[i + 1:]:
+            if ma.thread == mb.thread or not ma.overlaps(mb):
+                continue
+            shared = a_objs & {a.obj for a in mb.accesses}
+            for obj in shared:
+                if racy_window(ma, mb, obj) is not None:
+                    pair = tuple(sorted([ma.key, mb.key]))
+                    candidates.add((pair[0], pair[1], obj))
+    return candidates
+
+
+@dataclass
+class CorpusSummary:
+    """Everything the default extractor catalogue needs to calibrate,
+    collected in one pass per trace and mergeable across chunks.
+
+    The ``need_*`` flags scope the propose pass to what the present
+    extractor stack will actually calibrate from — a failure-signature
+    stack must not pay for the O(calls²) race walk or the ordered-pairs
+    sweep.  Summaries merged together must share the same flags.
+    """
+
+    #: collect the per-execution aggregates (exception sites, duration/
+    #: return stats, presence, windows) — any key-based extractor
+    need_stats: bool = True
+    #: run the per-success ordered-pairs sweep — OrderViolationExtractor
+    need_order: bool = True
+    #: run the per-trace race-candidate walk — DataRaceExtractor
+    need_races: bool = True
+    n_traces: int = 0
+    n_failures: int = 0
+    #: (key, exception kind) sites seen anywhere, harness kinds excluded
+    failing: set[tuple[MethodKey, str]] = field(default_factory=set)
+    #: per-key aggregates over successful / failed traces
+    succ_stats: dict[MethodKey, KeyStats] = field(default_factory=dict)
+    fail_stats: dict[MethodKey, KeyStats] = field(default_factory=dict)
+    #: key -> number of traces (either label) containing it
+    presence: dict[MethodKey, int] = field(default_factory=dict)
+    #: strictly-ordered cross-thread pairs in *every* success
+    #: (``None`` until the first success is absorbed)
+    ordered: Optional[set[tuple[MethodKey, MethodKey]]] = None
+    #: per-key latest end / earliest start over successful traces
+    latest_end: dict[MethodKey, int] = field(default_factory=dict)
+    earliest_start: dict[MethodKey, int] = field(default_factory=dict)
+    races: set[tuple[MethodKey, MethodKey, str]] = field(default_factory=set)
+    signatures: set[str] = field(default_factory=set)
+    #: per failed trace: key -> (start_time, end_time)
+    fail_windows: list[dict[MethodKey, tuple[int, int]]] = field(
+        default_factory=list
+    )
+
+    # -- the propose phase ------------------------------------------------
+
+    def absorb_trace(self, trace, failed: bool) -> None:
+        """Fold one labeled trace into the summary (single pass)."""
+        self.n_traces += 1
+        window: dict[MethodKey, tuple[int, int]] = {}
+        if self.need_stats:
+            execs = trace.method_executions()
+            side = self.fail_stats if failed else self.succ_stats
+            for m in execs:
+                key = m.key
+                exc = m.exception
+                if exc and exc not in IGNORED_EXCEPTIONS:
+                    self.failing.add((key, exc))
+                stats = side.get(key)
+                if stats is None:
+                    stats = side[key] = KeyStats()
+                stats.n_present += 1
+                if exc is None:
+                    stats.add_completed(m.duration)
+                    value = m.return_value
+                    if failed:
+                        stats.returns.add(value)
+                    elif _hashable(value):
+                        stats.returns.add(value)
+                self.presence[key] = self.presence.get(key, 0) + 1
+                if failed:
+                    window[key] = (m.start_time, m.end_time)
+                else:
+                    end = self.latest_end.get(key, 0)
+                    if m.end_time > end:
+                        self.latest_end[key] = m.end_time
+                    start = self.earliest_start.get(key)
+                    if start is None or m.start_time < start:
+                        self.earliest_start[key] = m.start_time
+        if failed:
+            self.n_failures += 1
+            if trace.failure is not None:
+                self.signatures.add(trace.failure.signature)
+            if self.need_stats:
+                self.fail_windows.append(window)
+        elif self.need_order:
+            pairs = ordered_cross_thread_pairs(trace.method_executions())
+            self.ordered = (
+                pairs if self.ordered is None else self.ordered & pairs
+            )
+        if self.need_races:
+            self.races |= race_candidates(trace)
+
+    # -- the monoid -------------------------------------------------------
+
+    def merge(self, other: "CorpusSummary") -> "CorpusSummary":
+        """Fold another summary in; chunk merges commute (same result
+        for any chunking), ``fail_windows`` keeps chunk order."""
+        self.n_traces += other.n_traces
+        self.n_failures += other.n_failures
+        self.failing |= other.failing
+        for mine, theirs in (
+            (self.succ_stats, other.succ_stats),
+            (self.fail_stats, other.fail_stats),
+        ):
+            for key, stats in theirs.items():
+                ours = mine.get(key)
+                if ours is None:
+                    mine[key] = stats
+                else:
+                    ours.merge(stats)
+        for key, count in other.presence.items():
+            self.presence[key] = self.presence.get(key, 0) + count
+        if other.ordered is not None:
+            self.ordered = (
+                set(other.ordered)
+                if self.ordered is None
+                else self.ordered & other.ordered
+            )
+        for key, end in other.latest_end.items():
+            if end > self.latest_end.get(key, 0):
+                self.latest_end[key] = end
+        for key, start in other.earliest_start.items():
+            mine_start = self.earliest_start.get(key)
+            if mine_start is None or start < mine_start:
+                self.earliest_start[key] = start
+        self.races |= other.races
+        self.signatures |= other.signatures
+        self.fail_windows.extend(other.fail_windows)
+        return self
+
+
+def summarize_corpus(
+    successes: Sequence,
+    failures: Sequence,
+    engine: Optional["ExecutionEngine"] = None,
+    chunks_per_job: int = 4,
+    need_stats: bool = True,
+    need_order: bool = True,
+    need_races: bool = True,
+) -> CorpusSummary:
+    """The propose phase over a labeled corpus, optionally fanned out.
+
+    With an engine whose backend has more than one job, traces are
+    folded in contiguous chunks across the backend (each worker
+    summarizes its chunk; the parent merges in chunk order).  The merged
+    summary is identical for any job count — chunk merges commute.
+    The ``need_*`` flags scope the pass to what the caller's extractor
+    stack calibrates from (see :class:`CorpusSummary`).
+    """
+    items = [(t, False) for t in successes] + [(t, True) for t in failures]
+
+    def new_summary() -> CorpusSummary:
+        return CorpusSummary(
+            need_stats=need_stats,
+            need_order=need_order,
+            need_races=need_races,
+        )
+
+    jobs = engine.backend.jobs if engine is not None else 1
+    if jobs <= 1 or len(items) < 2:
+        summary = new_summary()
+        for trace, failed in items:
+            summary.absorb_trace(trace, failed)
+        return summary
+
+    n_chunks = min(len(items), jobs * chunks_per_job)
+    step = -(-len(items) // n_chunks)  # ceil division
+    bounds = [
+        (lo, min(lo + step, len(items))) for lo in range(0, len(items), step)
+    ]
+
+    def summarize_chunk(bound: tuple[int, int]) -> CorpusSummary:
+        summary = new_summary()
+        for trace, failed in items[bound[0]:bound[1]]:
+            summary.absorb_trace(trace, failed)
+        return summary
+
+    parts = engine.dispatch(summarize_chunk, bounds)
+    merged = parts[0]
+    for part in parts[1:]:
+        merged.merge(part)
+    return merged
+
+
+def _hashable(value: object) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True

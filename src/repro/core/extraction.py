@@ -10,16 +10,32 @@ intervention, which is how intervention outcomes are interpreted.
 
 Extractors only *propose* predicates; discriminative filtering is the
 job of :mod:`repro.core.statistical`.
+
+Discovery is two-phase for the default catalogue (see
+:mod:`repro.core.evalkernel`): a per-trace **propose** pass folds each
+trace into a :class:`~repro.core.evalkernel.CorpusSummary` (fanned over
+an :class:`~repro.exec.engine.ExecutionEngine` when one is given), and a
+serial **calibrate** pass — each extractor's :meth:`Extractor.calibrate`
+— turns the merged summary into the same predicate list its
+:meth:`Extractor.discover` would produce from the raw traces.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..sim.program import Program
 from ..sim.tracing import ExecutionTrace, MethodExecution, MethodKey
+from .evalkernel import (
+    IGNORED_EXCEPTIONS,
+    CorpusSummary,
+    _hashable,
+    ordered_cross_thread_pairs,
+    race_candidates,
+    summarize_corpus,
+)
 from .predicates import (
     DataRacePredicate,
     ExecutedPredicate,
@@ -31,12 +47,15 @@ from .predicates import (
     TooFastPredicate,
     TooSlowPredicate,
     WrongReturnPredicate,
-    racy_window,
 )
 from .statistical import PredicateLog
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.engine import ExecutionEngine
+    from .evalkernel import SuiteKernel
+
 # Exception kinds that mark harness artifacts, not program behaviour.
-_IGNORED_EXCEPTIONS = {"Unfinished"}
+_IGNORED_EXCEPTIONS = IGNORED_EXCEPTIONS
 
 
 class Extractor:
@@ -47,6 +66,14 @@ class Extractor:
         successes: Sequence[ExecutionTrace],
         failures: Sequence[ExecutionTrace],
     ) -> list[PredicateDef]:
+        raise NotImplementedError
+
+    def calibrate(self, summary: CorpusSummary) -> list[PredicateDef]:
+        """Two-phase discovery's serial half: the predicates
+        :meth:`discover` would return, derived from a merged
+        :class:`~repro.core.evalkernel.CorpusSummary` instead of the raw
+        traces.  Only classes in :data:`TWO_PHASE_EXTRACTORS` implement
+        it; everything else falls back to :meth:`discover`."""
         raise NotImplementedError
 
 
@@ -69,9 +96,16 @@ class MethodFailsExtractor(Extractor):
             for m in trace.method_executions():
                 if m.exception and m.exception not in _IGNORED_EXCEPTIONS:
                     seen.add((m.key, m.exception))
+        return self._from_sites(seen)
+
+    def calibrate(self, summary):
+        return self._from_sites(summary.failing)
+
+    @staticmethod
+    def _from_sites(sites):
         return [
             MethodFailsPredicate(key=key, exc_kind=exc)
-            for key, exc in sorted(seen, key=lambda t: (t[0], t[1]))
+            for key, exc in sorted(sites, key=lambda t: (t[0], t[1]))
         ]
 
 
@@ -121,6 +155,25 @@ class DurationExtractor(Extractor):
                 preds.append(TooFastPredicate(key=key, threshold=lo))
         return preds
 
+    def calibrate(self, summary):
+        preds: list[PredicateDef] = []
+        succ, fail = summary.succ_stats, summary.fail_stats
+        for key in sorted(set(succ) & set(fail)):
+            ok = succ[key]
+            if not ok.n_completed:
+                continue
+            lo = max(1, ok.min_duration - self._slack(ok.min_duration))
+            hi = ok.max_duration + self._slack(ok.max_duration)
+            correct = ok.returns.single
+            completed = fail[key]
+            if completed.n_completed and completed.max_duration > hi:
+                preds.append(
+                    TooSlowPredicate(key=key, threshold=hi, correct_return=correct)
+                )
+            if completed.n_completed and completed.min_duration < lo:
+                preds.append(TooFastPredicate(key=key, threshold=lo))
+        return preds
+
 
 class WrongReturnExtractor(Extractor):
     """Return-value mismatch against a constant successful value."""
@@ -145,6 +198,24 @@ class WrongReturnExtractor(Extractor):
                 preds.append(WrongReturnPredicate(key=key, correct_value=correct))
         return preds
 
+    def calibrate(self, summary):
+        preds: list[PredicateDef] = []
+        succ, fail = summary.succ_stats, summary.fail_stats
+        for key in sorted(set(succ) & set(fail)):
+            ok = succ[key].returns
+            if not ok.seen or ok.multi:
+                continue  # no unique "correct value" to compare/repair with
+            correct = ok.value
+            observed = fail[key].returns
+            # ≥2 distinct completed values cannot both equal ``correct``;
+            # a single one mismatches iff it differs.
+            mismatch = observed.multi or (
+                observed.seen and observed.value != correct
+            )
+            if mismatch:
+                preds.append(WrongReturnPredicate(key=key, correct_value=correct))
+        return preds
+
 
 class DataRaceExtractor(Extractor):
     """Lockset-based race candidates from any trace where they fire."""
@@ -152,18 +223,14 @@ class DataRaceExtractor(Extractor):
     def discover(self, successes, failures):
         candidates: set[tuple[MethodKey, MethodKey, str]] = set()
         for trace in list(failures) + list(successes):
-            execs = trace.method_executions()
-            for i, ma in enumerate(execs):
-                for mb in execs[i + 1 :]:
-                    if ma.thread == mb.thread or not ma.overlaps(mb):
-                        continue
-                    shared = {a.obj for a in ma.accesses} & {
-                        a.obj for a in mb.accesses
-                    }
-                    for obj in shared:
-                        if racy_window(ma, mb, obj) is not None:
-                            pair = tuple(sorted([ma.key, mb.key]))
-                            candidates.add((pair[0], pair[1], obj))
+            candidates |= race_candidates(trace)
+        return self._from_candidates(candidates)
+
+    def calibrate(self, summary):
+        return self._from_candidates(summary.races)
+
+    @staticmethod
+    def _from_candidates(candidates):
         return [
             DataRacePredicate(a=a, b=b, obj=obj)
             for a, b, obj in sorted(candidates, key=lambda t: (t[2], t[0], t[1]))
@@ -184,18 +251,9 @@ class OrderViolationExtractor(Extractor):
             return []
         ordered: Optional[set[tuple[MethodKey, MethodKey]]] = None
         for trace in successes:
-            execs = {m.key: m for m in trace.method_executions()}
-            pairs: set[tuple[MethodKey, MethodKey]] = set()
-            keys = sorted(execs)
-            for first in keys:
-                for second in keys:
-                    if first == second:
-                        continue
-                    mf, ms = execs[first], execs[second]
-                    if mf.thread == ms.thread:
-                        continue
-                    if mf.end_time <= ms.start_time:
-                        pairs.add((first, second))
+            # Sort-based sweep: output-sensitive, identical pair set to
+            # the all-pairs comparison walk it replaced.
+            pairs = ordered_cross_thread_pairs(trace.method_executions())
             ordered = pairs if ordered is None else (ordered & pairs)
         violated: list[tuple[MethodKey, MethodKey]] = []
         for first, second in sorted(ordered or ()):
@@ -204,6 +262,34 @@ class OrderViolationExtractor(Extractor):
                 if mf and ms and ms.start_time < mf.end_time:
                     violated.append((first, second))
                     break
+        latest_end: dict[MethodKey, float] = {}
+        for trace in successes:
+            for m in trace.method_executions():
+                latest_end[m.key] = max(latest_end.get(m.key, 0), m.end_time)
+        earliest_start: dict[MethodKey, float] = {}
+        for trace in successes:
+            for m in trace.method_executions():
+                earliest_start[m.key] = min(
+                    earliest_start.get(m.key, float("inf")), m.start_time
+                )
+        return self._canonicalize(violated, latest_end, earliest_start)
+
+    def calibrate(self, summary):
+        if summary.ordered is None:
+            return []
+        violated: list[tuple[MethodKey, MethodKey]] = []
+        for first, second in sorted(summary.ordered):
+            for windows in summary.fail_windows:
+                mf, ms = windows.get(first), windows.get(second)
+                if mf is not None and ms is not None and ms[0] < mf[1]:
+                    violated.append((first, second))
+                    break
+        return self._canonicalize(
+            violated, summary.latest_end, summary.earliest_start
+        )
+
+    @staticmethod
+    def _canonicalize(violated, latest_end, earliest_start):
         # Canonicalize: when several invocations on one side are all
         # ordered before the same `second` and all flip together (e.g.
         # every consumer-thread method precedes the premature Dispose),
@@ -211,10 +297,6 @@ class OrderViolationExtractor(Extractor):
         # `first` that ends latest in successful runs.  The looser pairs
         # are implied by it and would each register as a separate,
         # redundant fully-discriminative predicate.
-        latest_end: dict[MethodKey, float] = {}
-        for trace in successes:
-            for m in trace.method_executions():
-                latest_end[m.key] = max(latest_end.get(m.key, 0), m.end_time)
         tightest: dict[MethodKey, tuple[MethodKey, MethodKey]] = {}
         for first, second in violated:
             current = tightest.get(second)
@@ -225,12 +307,6 @@ class OrderViolationExtractor(Extractor):
         # Symmetric pass: several `second`s under one `first` (a call and
         # its nested children all start early together) collapse to the
         # earliest-starting one.
-        earliest_start: dict[MethodKey, float] = {}
-        for trace in successes:
-            for m in trace.method_executions():
-                earliest_start[m.key] = min(
-                    earliest_start.get(m.key, float("inf")), m.start_time
-                )
         by_first: dict[MethodKey, tuple[MethodKey, MethodKey]] = {}
         for first, second in tightest.values():
             current = by_first.get(first)
@@ -265,6 +341,14 @@ class MethodExecutedExtractor(Extractor):
             key
             for key in in_failed
             if seen_in[key] < len(all_traces)
+        ]
+        return [ExecutedPredicate(key=key) for key in sorted(candidates)]
+
+    def calibrate(self, summary):
+        candidates = [
+            key
+            for key in summary.fail_stats
+            if summary.presence[key] < summary.n_traces
         ]
         return [ExecutedPredicate(key=key) for key in sorted(candidates)]
 
@@ -360,6 +444,40 @@ class FailureExtractor(Extractor):
         )
         return [FailurePredicate(signature=s) for s in signatures]
 
+    def calibrate(self, summary):
+        return [FailurePredicate(signature=s) for s in sorted(summary.signatures)]
+
+
+#: Extractor classes whose discovery splits into the parallelizable
+#: propose phase + serial calibrate phase.  Exact-type membership:
+#: a subclass with an overridden ``discover`` must not be silently
+#: rerouted through the parent's calibrate.
+TWO_PHASE_EXTRACTORS: frozenset[type] = frozenset(
+    {
+        DataRaceExtractor,
+        MethodFailsExtractor,
+        DurationExtractor,
+        WrongReturnExtractor,
+        OrderViolationExtractor,
+        MethodExecutedExtractor,
+        FailureExtractor,
+    }
+)
+
+#: Which :class:`~repro.core.evalkernel.CorpusSummary` sections each
+#: two-phase extractor calibrates from — the propose pass only collects
+#: what the present stack will read (a failure-signature stack must not
+#: pay for the race walk or the ordered-pairs sweep).
+_SUMMARY_NEEDS: dict[type, frozenset[str]] = {
+    DataRaceExtractor: frozenset({"races"}),
+    MethodFailsExtractor: frozenset({"stats"}),
+    DurationExtractor: frozenset({"stats"}),
+    WrongReturnExtractor: frozenset({"stats"}),
+    OrderViolationExtractor: frozenset({"stats", "order"}),
+    MethodExecutedExtractor: frozenset({"stats"}),
+    FailureExtractor: frozenset(),
+}
+
 
 def default_extractors() -> list[Extractor]:
     """The paper's Figure 2 catalogue, in a deterministic order."""
@@ -372,14 +490,6 @@ def default_extractors() -> list[Extractor]:
         MethodExecutedExtractor(),
         FailureExtractor(),
     ]
-
-
-def _hashable(value: object) -> bool:
-    try:
-        hash(value)
-    except TypeError:
-        return False
-    return True
 
 
 @dataclass
@@ -396,19 +506,50 @@ class PredicateSuite:
         extractors: Optional[Iterable[Extractor]] = None,
         program: Optional[Program] = None,
         safe_only: bool = True,
+        engine: Optional["ExecutionEngine"] = None,
+        two_phase: Optional[bool] = None,
     ) -> "PredicateSuite":
         """Run all extractors over a labeled corpus and build the suite.
 
         When ``program`` is given and ``safe_only`` is set, predicates
         whose interventions are unsafe (Section 3.3) are dropped — except
         failure predicates, which are never intervened on.
+
+        Extractors in :data:`TWO_PHASE_EXTRACTORS` run two-phase: one
+        propose pass summarizes every trace (fanned across ``engine``'s
+        backend when it has workers to offer — the summary is identical
+        for any job count), then each extractor calibrates serially from
+        the merged summary.  Other extractors keep their whole-corpus
+        :meth:`Extractor.discover`.  ``two_phase=False`` forces the
+        legacy single-phase walk everywhere (the reference the tests and
+        benchmarks compare against); the suite is byte-identical either
+        way.
         """
         extractors = (
             list(extractors) if extractors is not None else default_extractors()
         )
+        if two_phase is None:
+            two_phase = any(type(e) in TWO_PHASE_EXTRACTORS for e in extractors)
+        summary: Optional[CorpusSummary] = None
+        if two_phase and any(type(e) in TWO_PHASE_EXTRACTORS for e in extractors):
+            needs: set[str] = set()
+            for extractor in extractors:
+                needs |= _SUMMARY_NEEDS.get(type(extractor), frozenset())
+            summary = summarize_corpus(
+                successes,
+                failures,
+                engine=engine,
+                need_stats="stats" in needs,
+                need_order="order" in needs,
+                need_races="races" in needs,
+            )
         defs: dict[str, PredicateDef] = {}
         for extractor in extractors:
-            for pred in extractor.discover(successes, failures):
+            if summary is not None and type(extractor) in TWO_PHASE_EXTRACTORS:
+                proposed = extractor.calibrate(summary)
+            else:
+                proposed = extractor.discover(successes, failures)
+            for pred in proposed:
                 defs.setdefault(pred.pid, pred)
         if program is not None and safe_only:
             defs = {
@@ -478,15 +619,36 @@ class PredicateSuite:
             defs[pred.pid] = pred
         return cls(defs=defs)
 
+    def kernel(self) -> "SuiteKernel":
+        """The suite's batch evaluator, built once per frozen pid set.
+
+        Rebuilt automatically when ``defs`` gains or loses pids (e.g. a
+        suite assembled incrementally); replacing a predicate object
+        in-place under an unchanged pid is not supported — freeze a new
+        suite instead.
+        """
+        from .evalkernel import SuiteKernel
+
+        cached = getattr(self, "_kernel", None)
+        if cached is None or cached.pids != tuple(self.defs):
+            cached = SuiteKernel(self.defs)
+            self._kernel = cached
+        return cached
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_kernel", None)  # derived; rebuild after unpickling
+        return state
+
     def evaluate(self, trace: ExecutionTrace, seed: int = 0) -> PredicateLog:
-        """Evaluate every predicate on one trace → a predicate log."""
-        observations: dict[str, Observation] = {}
-        for pid, pred in self.defs.items():
-            obs = pred.evaluate(trace)
-            if obs is not None:
-                observations[pid] = obs
+        """Evaluate every predicate on one trace → a predicate log.
+
+        Routed through the :meth:`kernel` — one indexed pass per trace,
+        byte-identical to the per-predicate ``pred.evaluate(trace)``
+        loop it replaced (same observations, same order).
+        """
         return PredicateLog(
-            observations=observations,
+            observations=self.kernel().observations(trace),
             failed=trace.failed,
             seed=seed,
             failure_signature=(

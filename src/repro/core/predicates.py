@@ -81,7 +81,23 @@ class PredicateDef:
     kind: PredicateKind
     description: str
 
+    #: Batch-evaluation protocol (see :mod:`repro.core.evalkernel`):
+    #: a predicate that depends only on resolved :class:`MethodKey`
+    #: lookups sets this and implements :meth:`evaluate_indexed`; the
+    #: kernel then evaluates it against a trace's key index without
+    #: handing over the whole trace.  Predicates that read other trace
+    #: state (failure metadata, nested parts) leave it ``False`` and are
+    #: evaluated through :meth:`evaluate`.
+    supports_indexed: bool = False
+
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
+        raise NotImplementedError
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        """Evaluate against a key resolver (``find(key) -> execution or
+        None``).  Only meaningful when :attr:`supports_indexed`; for
+        those classes ``evaluate(trace)`` is exactly
+        ``evaluate_indexed(trace.lookup)``."""
         raise NotImplementedError
 
     def interventions(self) -> tuple[Intervention, ...]:
@@ -135,10 +151,6 @@ class PredicateDef:
         return isinstance(other, PredicateDef) and other.pid == self.pid
 
 
-def _find(trace: ExecutionTrace, key: MethodKey) -> Optional[MethodExecution]:
-    return trace.lookup(key)
-
-
 @dataclass(frozen=True, eq=False)
 class DataRacePredicate(PredicateDef):
     """Two method invocations access ``obj`` concurrently, one writing,
@@ -147,6 +159,8 @@ class DataRacePredicate(PredicateDef):
     a: MethodKey
     b: MethodKey
     obj: str
+
+    supports_indexed = True
 
     def __post_init__(self) -> None:
         if self.b < self.a:  # canonical order for a stable pid
@@ -170,7 +184,10 @@ class DataRacePredicate(PredicateDef):
         )
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        ma, mb = _find(trace, self.a), _find(trace, self.b)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        ma, mb = find(self.a), find(self.b)
         if ma is None or mb is None or not ma.overlaps(mb):
             return None
         window = racy_window(ma, mb, self.obj)
@@ -247,6 +264,8 @@ class MethodFailsPredicate(PredicateDef):
     exc_kind: str
     fallback: object = None
 
+    supports_indexed = True
+
     @property
     def pid(self) -> str:
         return f"fails({self.exc_kind})[{self.key}]"
@@ -260,7 +279,10 @@ class MethodFailsPredicate(PredicateDef):
         return f"method {self.key} fails with {self.exc_kind}"
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        m = _find(trace, self.key)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        m = find(self.key)
         if m is None or m.exception != self.exc_kind:
             return None
         return Observation(
@@ -287,6 +309,8 @@ class TooSlowPredicate(PredicateDef):
     threshold: int  # max duration over successful executions
     correct_return: object = None
 
+    supports_indexed = True
+
     @property
     def pid(self) -> str:
         return f"slow[{self.key}]"
@@ -303,7 +327,10 @@ class TooSlowPredicate(PredicateDef):
         )
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        m = _find(trace, self.key)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        m = find(self.key)
         if m is None or m.duration <= self.threshold:
             return None
         # The slowness *begins* the instant the invocation exceeds its
@@ -339,6 +366,8 @@ class TooFastPredicate(PredicateDef):
     key: MethodKey
     threshold: int  # min duration over successful executions
 
+    supports_indexed = True
+
     @property
     def pid(self) -> str:
         return f"fast[{self.key}]"
@@ -355,7 +384,10 @@ class TooFastPredicate(PredicateDef):
         )
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        m = _find(trace, self.key)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        m = find(self.key)
         if m is None or m.duration >= self.threshold:
             return None
         return Observation(
@@ -379,6 +411,8 @@ class WrongReturnPredicate(PredicateDef):
     key: MethodKey
     correct_value: object
 
+    supports_indexed = True
+
     @property
     def pid(self) -> str:
         return f"wrongret[{self.key}]"
@@ -395,7 +429,10 @@ class WrongReturnPredicate(PredicateDef):
         )
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        m = _find(trace, self.key)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        m = find(self.key)
         if m is None or m.exception is not None:
             return None
         if m.return_value == self.correct_value:
@@ -429,6 +466,8 @@ class OrderViolationPredicate(PredicateDef):
     first: MethodKey
     second: MethodKey
 
+    supports_indexed = True
+
     @property
     def pid(self) -> str:
         return f"order[{self.second}<{self.first}]"
@@ -445,7 +484,10 @@ class OrderViolationPredicate(PredicateDef):
         )
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        mf, ms = _find(trace, self.first), _find(trace, self.second)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        mf, ms = find(self.first), find(self.second)
         if mf is None or ms is None:
             return None
         if ms.start_time >= mf.end_time:
@@ -479,6 +521,8 @@ class ExecutedPredicate(PredicateDef):
     key: MethodKey
     skip_value: object = None
 
+    supports_indexed = True
+
     @property
     def pid(self) -> str:
         return f"exec[{self.key}]"
@@ -492,7 +536,10 @@ class ExecutedPredicate(PredicateDef):
         return f"method {self.key} executes (it never runs in successful executions)"
 
     def evaluate(self, trace: ExecutionTrace) -> Optional[Observation]:
-        m = _find(trace, self.key)
+        return self.evaluate_indexed(trace.lookup)
+
+    def evaluate_indexed(self, find) -> Optional[Observation]:
+        m = find(self.key)
         if m is None or m.body_skipped:
             return None
         return Observation(

@@ -14,6 +14,13 @@ by how well it discriminates failures (paper Section 2):
 AID consumes only *fully-discriminative* predicates — precision and
 recall both 100% — because counterfactual causality is meaningless for a
 predicate that sometimes co-occurs with success (Sections 2-3).
+
+Counting is bitset-backed: both debuggers answer ``stats()`` from the
+shared popcount kernel (:mod:`repro.core.evalkernel`) instead of
+rescanning their logs — the batch :class:`StatisticalDebugger` keeps a
+lazily-synced :class:`~repro.core.evalkernel.BitsetCounter` over its log
+list, the :class:`IncrementalDebugger` keeps plain integer counters
+maintained per insertion.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional
 
+from .evalkernel import BitsetCounter
 from .predicates import Observation
 
 
@@ -71,9 +79,22 @@ class PredicateStats:
 
 @dataclass
 class StatisticalDebugger:
-    """Computes SD statistics over a corpus of predicate logs."""
+    """Computes SD statistics over a corpus of predicate logs.
+
+    Logs are the source of truth (``logs`` stays a plain list the AC-DAG
+    and tests read directly); counting is answered from a lazily-synced
+    :class:`~repro.core.evalkernel.BitsetCounter` — each log is folded
+    into per-pid observation bitsets exactly once, and every ``stats()``
+    call after that is pure popcounts.  The log list is treated as
+    append-only; replacing it (or shrinking it) resets the counter.
+    """
 
     logs: list[PredicateLog] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._counter = BitsetCounter()
+        self._synced_logs = self.logs
+        self._synced_count = 0
 
     def add(self, log: PredicateLog) -> None:
         self.logs.append(log)
@@ -81,38 +102,51 @@ class StatisticalDebugger:
     def extend(self, logs: Iterable[PredicateLog]) -> None:
         self.logs.extend(logs)
 
+    def _counts(self) -> BitsetCounter:
+        """The popcount counter, folded forward to the current logs."""
+        if self._synced_logs is not self.logs or self._synced_count > len(
+            self.logs
+        ):
+            self._counter = BitsetCounter()
+            self._synced_logs = self.logs
+            self._synced_count = 0
+        counter = self._counter
+        while self._synced_count < len(self.logs):
+            log = self.logs[self._synced_count]
+            counter.add_column(log.observations, log.failed)
+            self._synced_count += 1
+        return counter
+
     @property
     def n_failed(self) -> int:
-        return sum(1 for log in self.logs if log.failed)
+        return self._counts().n_failed
 
     @property
     def n_success(self) -> int:
-        return len(self.logs) - self.n_failed
+        return self._counts().n_success
 
     def all_pids(self) -> list[str]:
-        pids: set[str] = set()
-        for log in self.logs:
-            pids.update(log.observations)
-        return sorted(pids)
+        return sorted(self._counts().observed)
+
+    def observed_in_failed(self, pid: str) -> int:
+        """How many failed logs observe ``pid`` (one popcount)."""
+        return self._counts().counts(pid)[0]
 
     def stats(self) -> dict[str, PredicateStats]:
-        """Per-predicate precision/recall statistics."""
-        n_failed, n_success = self.n_failed, self.n_success
-        counts: dict[str, list[int]] = {pid: [0, 0] for pid in self.all_pids()}
-        for log in self.logs:
-            idx = 0 if log.failed else 1
-            for pid in log.observations:
-                counts[pid][idx] += 1
-        return {
-            pid: PredicateStats(
+        """Per-predicate precision/recall statistics, by popcount."""
+        counter = self._counts()
+        n_failed, n_success = counter.n_failed, counter.n_success
+        result: dict[str, PredicateStats] = {}
+        for pid in sorted(counter.observed):
+            in_failed, in_success = counter.counts(pid)
+            result[pid] = PredicateStats(
                 pid=pid,
                 true_in_failed=in_failed,
                 true_in_success=in_success,
                 n_failed=n_failed,
                 n_success=n_success,
             )
-            for pid, (in_failed, in_success) in counts.items()
-        }
+        return result
 
     def discriminative(self, min_precision: float = 1.0, min_recall: float = 1.0):
         """Predicates meeting the precision/recall thresholds, ranked.

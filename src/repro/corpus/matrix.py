@@ -100,6 +100,8 @@ class EvalMatrix:
         #: function of the frozen suite, so computing them per (pid,
         #: trace) pair would dominate warm evaluation
         self._digest_cache: Optional[tuple] = None
+        #: cached failed-column mask, invalidated on column allocation
+        self._failed_mask: Optional[int] = None
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -135,14 +137,18 @@ class EvalMatrix:
             self.traces.append(fingerprint)
             self.labels.append(bool(failed))
             self._column[fingerprint] = idx
+            self._failed_mask = None
         return idx
 
     @property
     def failed_mask(self) -> int:
-        mask = 0
-        for idx, failed in enumerate(self.labels):
-            if failed:
-                mask |= 1 << idx
+        mask = self._failed_mask
+        if mask is None:
+            mask = 0
+            for idx, failed in enumerate(self.labels):
+                if failed:
+                    mask |= 1 << idx
+            self._failed_mask = mask
         return mask
 
     # -- the memoized evaluation loop ------------------------------------
@@ -167,27 +173,51 @@ class EvalMatrix:
         observations: dict[str, Observation] = {}
         row_obs = self.observations.get(fp)
         suite_digests = self._digests_for(suite)
-        for pid, pred in suite.defs.items():
+        undecided: list[str] = []
+        for pid in suite.defs:
             digest = suite_digests[pid]
             if self.digests.get(pid) != digest:
                 # New predicate, or a same-pid predicate whose parameters
                 # drifted: invalidate the whole row.
                 self._drop_row(pid)
                 self.digests[pid] = digest
+                undecided.append(pid)
+                continue
             if self.evaluated.get(pid, 0) & mask:
                 self.pair_hits += 1
                 if self.observed.get(pid, 0) & mask:
                     observations[pid] = _obs_from_list(row_obs[pid])
-                continue
-            obs = pred.evaluate(trace)
-            self.pair_evaluations += 1
-            self.evaluated[pid] = self.evaluated.get(pid, 0) | mask
-            if obs is not None:
-                self.observed[pid] = self.observed.get(pid, 0) | mask
-                if row_obs is None:
-                    row_obs = self.observations.setdefault(fp, {})
-                row_obs[pid] = _obs_to_list(obs)
-                observations[pid] = obs
+            else:
+                undecided.append(pid)
+        if undecided:
+            # One single-pass kernel evaluation covers every undecided
+            # pid; results land straight in the bitset columns.
+            fresh = suite.kernel().observations(
+                trace,
+                only=(
+                    None
+                    if len(undecided) == len(suite.defs)
+                    else frozenset(undecided)
+                ),
+            )
+            self.pair_evaluations += len(undecided)
+            for pid in undecided:
+                self.evaluated[pid] = self.evaluated.get(pid, 0) | mask
+                obs = fresh.get(pid)
+                if obs is not None:
+                    self.observed[pid] = self.observed.get(pid, 0) | mask
+                    if row_obs is None:
+                        row_obs = self.observations.setdefault(fp, {})
+                    row_obs[pid] = _obs_to_list(obs)
+                    observations[pid] = obs
+            if len(undecided) < len(suite.defs):
+                # Memo hits and fresh results interleave; restore the
+                # suite's definition order (the per-predicate loop's).
+                observations = {
+                    pid: observations[pid]
+                    for pid in suite.defs
+                    if pid in observations
+                }
         return PredicateLog(
             observations=observations,
             failed=trace.failed,
@@ -284,6 +314,7 @@ class EvalMatrix:
             self.traces = [fp for fp, _ in kept]
             self.labels = [failed for _, failed in kept]
             self._column = {fp: i for i, fp in enumerate(self.traces)}
+            self._failed_mask = None
             for fp in dead_cols:
                 self.observations.pop(fp, None)
         self.observations = {
@@ -295,9 +326,37 @@ class EvalMatrix:
 
     def counts(self, pid: str) -> tuple[int, int]:
         """(true_in_failed, true_in_success) for one pid, by popcount."""
-        bits = self.observed.get(pid, 0)
-        fmask = self.failed_mask
-        return (bits & fmask).bit_count(), (bits & ~fmask).bit_count()
+        from ..core.evalkernel import popcount_split
+
+        return popcount_split(self.observed.get(pid, 0), self.failed_mask)
+
+    def sd_counters(
+        self, suite: PredicateSuite, fingerprints: Sequence[str]
+    ) -> IncrementalDebugger:
+        """SD counters over a (distinct-fingerprint) column subset, by
+        popcount — what an :class:`IncrementalDebugger` fed those
+        traces' logs one by one would hold, derived straight from the
+        bitsets.  Every fingerprint must already be fully decided for
+        ``suite`` (i.e. have gone through :meth:`log_for`)."""
+        from ..core.evalkernel import popcount_split
+
+        mask = 0
+        for fp in fingerprints:
+            mask |= 1 << self._column[fp]
+        fmask = self.failed_mask & mask
+        n_failed = fmask.bit_count()
+        counts: dict[str, list[int]] = {}
+        observed = self.observed
+        for pid in suite.defs:
+            bits = observed.get(pid, 0) & mask
+            if bits:
+                in_failed, in_success = popcount_split(bits, fmask)
+                counts[pid] = [in_failed, in_success]
+        return IncrementalDebugger(
+            n_failed=n_failed,
+            n_success=len(fingerprints) - n_failed,
+            counts=counts,
+        )
 
     @property
     def n_pairs(self) -> int:
@@ -353,6 +412,7 @@ class EvalMatrix:
         self.traces = list(payload["traces"])
         self.labels = [bool(v) for v in payload["labels"]]
         self._column = {fp: i for i, fp in enumerate(self.traces)}
+        self._failed_mask = None
         self.evaluated = {
             pid: int(bits, 16) for pid, bits in payload["evaluated"].items()
         }
@@ -556,14 +616,21 @@ class ShardedEvalMatrix:
         def evaluate_shard(sid: str) -> ShardEvaluation:
             evaluation = ShardEvaluation(shard_id=sid, matrix=shards[sid])
             failed_logs: list[PredicateLog] = []
+            fingerprints: list[str] = []
             for item in groups[sid]:
                 trace = store.load(item) if load else item
                 log = evaluation.matrix.log_for(suite, trace)
+                fingerprints.append(trace.fingerprint)
                 if return_logs:
                     evaluation.logs.append((trace.fingerprint, log))
-                evaluation.counters.add(log)
                 if log.failed:
                     failed_logs.append(log)
+            # SD counters by popcount over the group's freshly-decided
+            # columns — the same counting kernel every layer shares —
+            # instead of a per-log observation walk.
+            evaluation.counters = evaluation.matrix.sd_counters(
+                suite, fingerprints
+            )
             if build_dags and failed_logs:
                 # The shard's failure pid and FD set match the global
                 # ones wherever they overlap: a failure predicate is

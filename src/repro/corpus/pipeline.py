@@ -34,10 +34,13 @@ The reduction is deterministic whatever the schedule:
 
 Invariants
 ----------
-* the predicate suite is frozen at bootstrap — extractors run once over
-  the then-current corpus, globally (never per shard: thresholds such as
-  duration envelopes depend on the whole corpus, and the frozen suite
-  must not depend on the shard layout);
+* the predicate suite is frozen at bootstrap — extractors calibrate once
+  over the then-current corpus, globally (never per shard: thresholds
+  such as duration envelopes depend on the whole corpus, and the frozen
+  suite must not depend on the shard layout).  Only the *propose* half
+  of discovery (per-trace summarization, see
+  :mod:`repro.core.evalkernel`) fans out across the engine, and its
+  merged summary is identical for any job count;
 * the analysis state after ``bootstrap(engine=N-jobs)`` is bit-identical
   to ``bootstrap()`` serial — tests assert report equality for 1 vs 8
   jobs;
@@ -195,9 +198,12 @@ class IncrementalPipeline:
                 self.suite = persisted
                 suite_source = "persisted"
         if self.suite is None:
-            # Discovery is global by construction (duration envelopes
-            # and order baselines span the whole corpus), so the parent
-            # loads every trace and extractors run once, serially.
+            # Discovery calibration is global by construction (duration
+            # envelopes and order baselines span the whole corpus), so
+            # the parent loads every trace — but the propose phase
+            # (per-trace summarization) fans out across the engine's
+            # backend, and the serial calibrate over the merged summary
+            # freezes a byte-identical suite for any job count.
             corpus = self.store.labeled_corpus().restrict_failures(
                 self.signature
             )
@@ -206,6 +212,7 @@ class IncrementalPipeline:
                 corpus.failures,
                 extractors=self.extractors,
                 program=self.program,
+                engine=engine,
             )
             if self.extractors is None:
                 # Memoize the freeze for the next analyze over this

@@ -181,6 +181,7 @@ class AIDSession:
                 corpus.failures,
                 extractors=self.config.extractors,
                 program=self.program,
+                engine=self.config.engine,
             )
             self._emit(SuiteFrozen(n_predicates=len(self._suite)))
             self._logs = self._evaluate_logs(
@@ -193,12 +194,12 @@ class AIDSession:
                 )
             )
             self._debugger = StatisticalDebugger(logs=self._logs)
+            # One pass over the already-maintained per-pid counters —
+            # not a rescan of every log per candidate failure pid.
             failure_pids = [
                 pid
                 for pid in self._suite.failure_pids()
-                if any(
-                    log.observed(pid) for log in self._logs if log.failed
-                )
+                if self._debugger.observed_in_failed(pid)
             ]
             if not failure_pids:
                 raise RuntimeError("no failure predicate was extracted")

@@ -133,6 +133,9 @@ class ImportedTrace:
         self.fingerprint = fingerprint
         self._calls = sorted(calls, key=lambda m: (m.start_time, m.call_id))
         self._by_key = {m.key: m for m in self._calls}
+        self._by_method: dict[str, list[MethodExecution]] = {}
+        for m in self._calls:
+            self._by_method.setdefault(m.method, []).append(m)
 
     @property
     def failed(self) -> bool:
@@ -142,7 +145,12 @@ class ImportedTrace:
         return list(self._calls)
 
     def executions_of(self, method: str):
-        return (m for m in self._calls if m.method == method)
+        return iter(self._by_method.get(method, ()))
+
+    def executions_by_key(self):
+        """Calls keyed by :class:`MethodKey` — the imported counterpart
+        of :meth:`ExecutionTrace.executions_by_key` (read-only)."""
+        return self._by_key
 
     def lookup(self, key: MethodKey) -> Optional[MethodExecution]:
         return self._by_key.get(key)

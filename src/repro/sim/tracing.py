@@ -9,6 +9,14 @@ This module defines exactly that schema for the simulator.
 A trace is append-only during execution and post-processed once into
 :class:`MethodExecution` records (the "method execution signature list"
 of Figure 9b) by :meth:`ExecutionTrace.method_executions`.
+
+Reading is index-backed: the first read after a write builds one cached
+index (start-time order, by-key map, by-method map) that every
+subsequent ``lookup`` / ``method_executions`` / ``executions_of`` call
+answers in O(1)/O(copy) instead of rescanning or re-sorting the call
+list.  Any completed call invalidates the index, so interleaved
+record/read sequences stay correct — the evaluation kernel
+(:mod:`repro.core.evalkernel`) leans on this contract.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator, Optional
+from typing import Iterator, Mapping, Optional
 
 
 class AccessType(str, Enum):
@@ -122,6 +130,24 @@ class FailureInfo:
         return "/".join(parts)
 
 
+class _TraceIndex:
+    """Derived read structures over a trace's completed calls.
+
+    Built lazily on first read, thrown away on the next write (a
+    completed call), so readers never observe a stale view.
+    """
+
+    __slots__ = ("ordered", "by_key", "by_method")
+
+    def __init__(self, completed: list[MethodExecution]) -> None:
+        self.ordered = sorted(completed, key=lambda m: (m.start_time, m.call_id))
+        self.by_key: dict[MethodKey, MethodExecution] = {}
+        self.by_method: dict[str, list[MethodExecution]] = {}
+        for m in self.ordered:
+            self.by_key[m.key] = m
+            self.by_method.setdefault(m.method, []).append(m)
+
+
 class ExecutionTrace:
     """Raw event log of one simulated execution."""
 
@@ -133,6 +159,7 @@ class ExecutionTrace:
         self._occurrences: dict[tuple[str, str], int] = {}
         self._completed: list[MethodExecution] = []
         self._accesses_by_call: dict[int, list[Access]] = {}
+        self._index: Optional[_TraceIndex] = None
         self.failure: Optional[FailureInfo] = None
         self.end_time: int = 0
 
@@ -190,6 +217,7 @@ class ExecutionTrace:
             body_skipped=body_skipped,
         )
         self._completed.append(record)
+        self._index = None  # write-invalidate the read index
         return record
 
     def record_access(self, access: Access) -> None:
@@ -212,21 +240,31 @@ class ExecutionTrace:
     def failed(self) -> bool:
         return self.failure is not None
 
+    def _indexed(self) -> _TraceIndex:
+        index = self._index
+        if index is None:
+            index = self._index = _TraceIndex(self._completed)
+        return index
+
     def method_executions(self) -> list[MethodExecution]:
         """The signature list of Figure 9b, ordered by start time."""
-        return sorted(self._completed, key=lambda m: (m.start_time, m.call_id))
+        return list(self._indexed().ordered)
 
     def executions_of(self, method: str) -> Iterator[MethodExecution]:
-        return (m for m in self.method_executions() if m.method == method)
+        return iter(self._indexed().by_method.get(method, ()))
+
+    def executions_by_key(self) -> Mapping[MethodKey, MethodExecution]:
+        """Completed calls keyed by :class:`MethodKey` (keys are unique
+        per trace: the occurrence counter disambiguates re-invocations).
+        The returned mapping is the live index — treat it as read-only;
+        it is replaced wholesale when the trace records another call."""
+        return self._indexed().by_key
 
     def lookup(self, key: MethodKey) -> Optional[MethodExecution]:
-        for m in self._completed:
-            if m.key == key:
-                return m
-        return None
+        return self._indexed().by_key.get(key)
 
     def accesses(self) -> Iterator[Access]:
-        for m in self.method_executions():
+        for m in self._indexed().ordered:
             yield from m.accesses
 
     def objects_accessed(self) -> set[str]:

@@ -32,6 +32,7 @@ def test_docs_tree_exists():
     names = {p.name for p in DOC_FILES}
     assert "architecture.md" in names
     assert "corpus.md" in names
+    assert "perf.md" in names
     assert "README.md" in names
 
 

@@ -1,0 +1,423 @@
+"""The single-pass evaluation kernel: equivalence pins at every layer.
+
+Property-style assertions that the fast paths equal the reference
+walks, byte for byte: indexed ``lookup`` ≡ linear scan, kernel
+``evaluate_all`` ≡ per-predicate evaluation (same observations, same
+order), propose/calibrate discovery ≡ serial single-phase discovery
+(all registered workloads, 1 vs 8 jobs), popcount SD ≡ log rescans,
+and whole-session ``SessionReport.to_dict()`` byte-identity across
+engine job counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.evalkernel import (
+    BitsetCounter,
+    CorpusSummary,
+    DistinctCap,
+    ordered_cross_thread_pairs,
+    popcount_split,
+    summarize_corpus,
+)
+from repro.core.extraction import (
+    TWO_PHASE_EXTRACTORS,
+    PredicateSuite,
+    default_extractors,
+)
+from repro.core.statistical import (
+    IncrementalDebugger,
+    PredicateLog,
+    StatisticalDebugger,
+)
+from repro.exec import ExecutionEngine, make_backend
+from repro.harness.runner import collect
+from repro.harness.session import AIDSession, SessionConfig
+from repro.sim.serialize import trace_fingerprint, trace_from_dict, trace_to_dict
+from repro.sim.tracing import ExecutionTrace, MethodKey
+from repro.workloads.common import REGISTRY
+
+from conftest import racy_counter_program
+
+
+@pytest.fixture(scope="module")
+def corpus(racy_program):
+    return collect(racy_program, n_success=20, n_fail=20)
+
+
+@pytest.fixture(scope="module")
+def suite(racy_program, corpus):
+    return PredicateSuite.discover(
+        corpus.successes, corpus.failures, program=racy_program
+    )
+
+
+@pytest.fixture(scope="module")
+def thread8():
+    engine = ExecutionEngine(backend=make_backend("thread", 8))
+    yield engine
+    engine.close()
+
+
+# ---------------------------------------------------------------------------
+# The trace index
+# ---------------------------------------------------------------------------
+
+
+class TestTraceIndex:
+    def test_indexed_lookup_equals_linear_scan(self, corpus):
+        for trace in corpus.successes[:5] + corpus.failures[:5]:
+            completed = trace._completed
+            for m in completed:
+                # reference: first match of a linear completion-order scan
+                linear = next(x for x in completed if x.key == m.key)
+                assert trace.lookup(m.key) is linear
+            assert trace.lookup(MethodKey("NoSuch", "t", 0)) is None
+
+    def test_method_executions_is_start_time_sorted_copy(self, corpus):
+        trace = corpus.successes[0]
+        execs = trace.method_executions()
+        assert execs == sorted(
+            trace._completed, key=lambda m: (m.start_time, m.call_id)
+        )
+        execs.clear()  # a copy: mutating it must not corrupt the index
+        assert trace.method_executions()
+
+    def test_executions_of_uses_the_index(self, corpus):
+        trace = corpus.successes[0]
+        ordered = trace.method_executions()
+        for method in {m.method for m in ordered}:
+            assert list(trace.executions_of(method)) == [
+                m for m in ordered if m.method == method
+            ]
+        assert list(trace.executions_of("NoSuch")) == []
+
+    def test_accesses_follow_start_time_order(self, corpus):
+        trace = corpus.successes[0]
+        flat = [a for m in trace.method_executions() for a in m.accesses]
+        assert list(trace.accesses()) == flat
+
+    def test_record_after_read_invalidates_the_index(self):
+        """Record → read → record → read must see the new call."""
+        trace = ExecutionTrace("inv", seed=0)
+        first = trace.begin_call("A", "t0", time=0, lamport=0, parent_call_id=None)
+        trace.end_call(first, time=5, lamport=1, return_value=1, exception=None)
+        key_a = MethodKey("A", "t0", 0)
+        assert trace.lookup(key_a) is not None  # builds the index
+        assert len(trace.method_executions()) == 1
+        second = trace.begin_call("B", "t1", time=2, lamport=2, parent_call_id=None)
+        trace.end_call(second, time=3, lamport=3, return_value=2, exception=None)
+        key_b = MethodKey("B", "t1", 0)
+        assert trace.lookup(key_b) is not None  # post-write read sees B
+        assert [m.method for m in trace.method_executions()] == ["A", "B"]
+        assert list(trace.executions_by_key()) == [key_a, key_b]
+
+
+# ---------------------------------------------------------------------------
+# Kernel evaluation ≡ per-predicate evaluation
+# ---------------------------------------------------------------------------
+
+
+class TestKernelEvaluation:
+    def _reference(self, suite, trace):
+        observations = {}
+        for pid, pred in suite.defs.items():
+            obs = pred.evaluate(trace)
+            if obs is not None:
+                observations[pid] = obs
+        return observations
+
+    def test_batch_equals_per_predicate(self, suite, corpus):
+        logs = suite.evaluate_all(corpus.successes + corpus.failures)
+        traces = corpus.successes + corpus.failures
+        assert len(logs) == len(traces)
+        for trace, log in zip(traces, logs):
+            reference = self._reference(suite, trace)
+            assert dict(log.observations) == reference
+            # same order, not just same content
+            assert list(log.observations) == list(reference)
+            assert log.failed == trace.failed
+            assert log.seed == trace.seed
+
+    def test_kernel_respects_pid_subset(self, suite, corpus):
+        trace = corpus.failures[0]
+        full = suite.kernel().observations(trace)
+        some = frozenset(list(full)[::2])
+        sub = suite.kernel().observations(trace, only=some)
+        assert sub == {pid: obs for pid, obs in full.items() if pid in some}
+
+    def test_kernel_rebuilds_when_defs_change(self, suite):
+        kernel = suite.kernel()
+        assert suite.kernel() is kernel  # cached for the frozen suite
+        restricted = suite.restrict(suite.pids()[:3])
+        assert restricted.kernel() is not kernel
+        assert restricted.kernel().pids == tuple(restricted.defs)
+
+    def test_imported_traces_evaluate_identically(self, suite, corpus):
+        for trace in corpus.successes[:3] + corpus.failures[:3]:
+            imported = trace_from_dict(
+                trace_to_dict(trace), fingerprint=trace_fingerprint(trace)
+            )
+            assert suite.kernel().observations(imported) == self._reference(
+                suite, trace
+            )
+
+
+# ---------------------------------------------------------------------------
+# Two-phase discovery ≡ serial discovery
+# ---------------------------------------------------------------------------
+
+
+class TestTwoPhaseDiscovery:
+    def test_default_catalogue_is_two_phase(self):
+        assert {type(e) for e in default_extractors()} <= set(
+            TWO_PHASE_EXTRACTORS
+        )
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY.names()))
+    def test_propose_calibrate_equals_serial(self, name, thread8):
+        workload = REGISTRY.build(name)
+        corpus = collect(workload.program, n_success=16, n_fail=16)
+        corpus = corpus.restrict_failures(corpus.dominant_failure_signature())
+        serial = PredicateSuite.discover(
+            corpus.successes,
+            corpus.failures,
+            program=workload.program,
+            two_phase=False,
+        )
+        staged = PredicateSuite.discover(
+            corpus.successes, corpus.failures, program=workload.program
+        )
+        fanned = PredicateSuite.discover(
+            corpus.successes,
+            corpus.failures,
+            program=workload.program,
+            engine=thread8,
+        )
+        reference = json.dumps(serial.to_dict(), sort_keys=True)
+        assert json.dumps(staged.to_dict(), sort_keys=True) == reference
+        assert json.dumps(fanned.to_dict(), sort_keys=True) == reference
+        assert serial.fingerprint == staged.fingerprint == fanned.fingerprint
+
+    def test_summaries_merge_identically_across_chunkings(
+        self, corpus, thread8
+    ):
+        serial = summarize_corpus(corpus.successes, corpus.failures)
+        fanned = summarize_corpus(
+            corpus.successes, corpus.failures, engine=thread8
+        )
+        assert serial.n_traces == fanned.n_traces
+        assert serial.n_failures == fanned.n_failures
+        assert serial.failing == fanned.failing
+        assert serial.ordered == fanned.ordered
+        assert serial.races == fanned.races
+        assert serial.signatures == fanned.signatures
+        assert serial.presence == fanned.presence
+        assert serial.latest_end == fanned.latest_end
+        assert serial.earliest_start == fanned.earliest_start
+        assert serial.fail_windows == fanned.fail_windows
+
+    def test_restricted_stack_scopes_the_summary(self, corpus):
+        from repro.core.extraction import FailureExtractor
+
+        serial = PredicateSuite.discover(
+            corpus.successes,
+            corpus.failures,
+            extractors=[FailureExtractor()],
+            two_phase=False,
+        )
+        staged = PredicateSuite.discover(
+            corpus.successes, corpus.failures, extractors=[FailureExtractor()]
+        )
+        assert staged.fingerprint == serial.fingerprint
+        assert staged.pids() == serial.pids()
+        # a signature-only stack must not pay for races/order/stats
+        scoped = summarize_corpus(
+            corpus.successes,
+            corpus.failures,
+            need_stats=False,
+            need_order=False,
+            need_races=False,
+        )
+        assert scoped.signatures
+        assert not scoped.races
+        assert scoped.ordered is None
+        assert not scoped.succ_stats and not scoped.fail_stats
+        assert not scoped.fail_windows
+
+    def test_ordered_pairs_sweep_equals_all_pairs_walk(self, corpus):
+        for trace in corpus.successes[:5]:
+            execs = {m.key: m for m in trace.method_executions()}
+            reference = set()
+            for first in execs:
+                for second in execs:
+                    if first == second:
+                        continue
+                    mf, ms = execs[first], execs[second]
+                    if mf.thread == ms.thread:
+                        continue
+                    if mf.end_time <= ms.start_time:
+                        reference.add((first, second))
+            assert (
+                ordered_cross_thread_pairs(trace.method_executions())
+                == reference
+            )
+
+
+# ---------------------------------------------------------------------------
+# Popcount SD ≡ log rescans
+# ---------------------------------------------------------------------------
+
+
+def _rescan_stats(logs):
+    """The pre-kernel StatisticalDebugger.stats(): a full log rescan."""
+    n_failed = sum(1 for log in logs if log.failed)
+    n_success = len(logs) - n_failed
+    counts: dict[str, list[int]] = {}
+    for log in logs:
+        idx = 0 if log.failed else 1
+        for pid in log.observations:
+            counts.setdefault(pid, [0, 0])[idx] += 1
+    return {
+        pid: (in_failed, in_success, n_failed, n_success)
+        for pid, (in_failed, in_success) in counts.items()
+    }
+
+
+class TestPopcountCounting:
+    def test_popcount_split(self):
+        assert popcount_split(0b1011, 0b0011) == (2, 1)
+        assert popcount_split(0, 0b1111) == (0, 0)
+
+    def test_bitset_counter_matches_manual_counts(self):
+        counter = BitsetCounter()
+        counter.add_column(["a", "b"], failed=True)
+        counter.add_column(["b"], failed=False)
+        counter.add_column(["a"], failed=True)
+        assert (counter.n_failed, counter.n_success) == (2, 1)
+        assert counter.counts("a") == (2, 0)
+        assert counter.counts("b") == (1, 1)
+        assert counter.counts("missing") == (0, 0)
+
+    def test_debugger_stats_equal_rescan_reference(self, suite, corpus):
+        logs = suite.evaluate_all(corpus.successes + corpus.failures)
+        debugger = StatisticalDebugger(logs=list(logs))
+        reference = _rescan_stats(logs)
+        stats = debugger.stats()
+        assert set(stats) == set(reference)
+        assert list(stats) == sorted(reference)  # sorted-pid order kept
+        for pid, s in stats.items():
+            assert (
+                s.true_in_failed,
+                s.true_in_success,
+                s.n_failed,
+                s.n_success,
+            ) == reference[pid]
+
+    def test_debugger_syncs_appends_and_list_swaps(self):
+        from repro.core.predicates import Observation
+
+        a = PredicateLog(observations={"p": Observation(0, 1)}, failed=True)
+        b = PredicateLog(observations={}, failed=False)
+        debugger = StatisticalDebugger()
+        assert debugger.stats() == {}
+        debugger.add(a)
+        assert debugger.observed_in_failed("p") == 1
+        debugger.logs.append(b)  # external append, then re-read
+        assert (debugger.n_failed, debugger.n_success) == (1, 1)
+        debugger.logs = [b]  # wholesale replacement resets the counter
+        assert (debugger.n_failed, debugger.n_success) == (0, 1)
+        assert debugger.observed_in_failed("p") == 0
+
+    def test_matrix_sd_counters_equal_incremental_adds(self, suite, corpus):
+        from repro.corpus.matrix import EvalMatrix
+
+        matrix = EvalMatrix()
+        imported = [
+            trace_from_dict(
+                trace_to_dict(t), fingerprint=trace_fingerprint(t)
+            )
+            for t in corpus.successes[:8] + corpus.failures[:8]
+        ]
+        reference = IncrementalDebugger()
+        for trace in imported:
+            reference.add(matrix.log_for(suite, trace))
+        derived = matrix.sd_counters(suite, [t.fingerprint for t in imported])
+        assert derived.n_failed == reference.n_failed
+        assert derived.n_success == reference.n_success
+        assert derived.counts == reference.counts
+
+    def test_distinct_cap_merge_is_order_independent(self):
+        streams = (["x"], ["x", "x"], ["x", "y"], [], [None])
+        for left in streams:
+            for right in streams:
+                one = DistinctCap()
+                for v in left + right:
+                    one.add(v)
+                a, b = DistinctCap(), DistinctCap()
+                for v in left:
+                    a.add(v)
+                for v in right:
+                    b.add(v)
+                a.merge(b)
+                assert (a.seen, a.multi) == (one.seen, one.multi)
+                if a.seen and not a.multi:
+                    assert a.value == one.value
+
+    def test_corpus_summary_merge_equals_single_fold(self, corpus):
+        whole = CorpusSummary()
+        for t in corpus.successes:
+            whole.absorb_trace(t, failed=False)
+        for t in corpus.failures:
+            whole.absorb_trace(t, failed=True)
+        parts = [CorpusSummary(), CorpusSummary(), CorpusSummary()]
+        items = [(t, False) for t in corpus.successes] + [
+            (t, True) for t in corpus.failures
+        ]
+        for i, (t, failed) in enumerate(items):
+            parts[i % 3].absorb_trace(t, failed)
+        merged = parts[0].merge(parts[1]).merge(parts[2])
+        assert merged.n_traces == whole.n_traces
+        assert merged.failing == whole.failing
+        assert merged.ordered == whole.ordered
+        assert merged.presence == whole.presence
+        assert merged.races == whole.races
+
+
+# ---------------------------------------------------------------------------
+# Whole-session byte-identity across job counts
+# ---------------------------------------------------------------------------
+
+
+class TestSessionByteIdentity:
+    def _report(self, engine):
+        program = racy_counter_program()
+        session = AIDSession(
+            program,
+            SessionConfig(
+                n_success=20, n_fail=20, repeats=10, engine=engine
+            ),
+        )
+        return session.run()
+
+    def test_report_identical_serial_vs_eight_jobs(self, thread8):
+        serial = self._report(None)
+        fanned = self._report(thread8)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            fanned.to_dict(), sort_keys=True
+        )
+        assert serial.suite.fingerprint == fanned.suite.fingerprint
+
+    def test_failure_pid_selection_matches_log_rescan(self, thread8):
+        report = self._report(None)
+        session_logs = [log for log in report.debugger.logs if log.failed]
+        expected = [
+            pid
+            for pid in report.suite.failure_pids()
+            if any(log.observed(pid) for log in session_logs)
+        ]
+        assert expected  # the rescan reference finds the same winner
+        assert report.discovery.failure == expected[0]

@@ -1,0 +1,130 @@
+"""Observability overhead: the same run with telemetry off vs fully on.
+
+Two invariants hold the whole ``repro.obs`` design together, and this
+benchmark checks both on a real workload:
+
+* **Results are untouched** — the report from an observed run is
+  byte-identical to the unobserved one once the additive ``meta`` key
+  (run id + metrics, which carry wall-clock) is set aside.
+* **The seam is cheap** — the fully-instrumented run (JSONL run log
+  with per-line flush + metrics registry + span tracing) stays within
+  a small constant factor of the bare run.  CI regenerates this file
+  and fails if ``overhead_ratio`` exceeds :data:`CEILING`.
+
+The result lands in ``BENCH_obs.json`` (committed at the repo root and
+uploaded by the CI ``bench-obs`` job)::
+
+    {
+      "baseline_seconds": ...,     # best-of-N, no observers
+      "observed_seconds": ...,     # best-of-N, log + metrics + spans
+      "overhead_ratio": ...,       # observed / baseline
+      "n_events": ...,             # events written per observed run
+      "reports_identical_modulo_meta": true,
+      ...
+    }
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs.py
+Env:  REPRO_FULL=1 for paper-scale trace counts,
+      REPRO_BENCH_ROUNDS to override best-of rounds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import RunSpec, run
+from repro.api.spec import CollectionSpec, WorkloadSpec
+from repro.obs import ObsContext, ObsOptions, read_run_log
+
+WORKLOAD = "network"
+N_PER_LABEL = 128 if os.environ.get("REPRO_FULL") else 40
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+CEILING = 1.10  # the CI floor: observed/baseline must stay at or below
+
+
+def _spec() -> RunSpec:
+    return RunSpec(
+        workload=WorkloadSpec(WORKLOAD),
+        collection=CollectionSpec(
+            n_success=N_PER_LABEL, n_fail=N_PER_LABEL
+        ),
+    )
+
+
+def _canonical_modulo_meta(report) -> str:
+    payload = report.to_dict()
+    payload.pop("meta")
+    return json.dumps(payload, sort_keys=True)
+
+
+def _best(fn, rounds: int = ROUNDS):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="bench-obs-") as tmp:
+        log_dir = Path(tmp) / "runs"
+
+        def observed_run():
+            obs = ObsContext(
+                ObsOptions(log_dir=str(log_dir), metrics=True)
+            )
+            report = run(_spec(), obs=obs)
+            return obs, report
+
+        baseline_s, baseline_report = _best(lambda: run(_spec()))
+        observed_s, (obs, observed_report) = _best(observed_run)
+
+        replay = read_run_log(obs.log_path)
+        n_events = len(replay.events.events)
+        identical = _canonical_modulo_meta(
+            baseline_report
+        ) == _canonical_modulo_meta(observed_report)
+
+    assert identical, "observability changed the report payload"
+    assert n_events > 0 and replay.metrics is not None
+
+    ratio = observed_s / baseline_s
+    payload = {
+        "workload": WORKLOAD,
+        "traces_per_label": N_PER_LABEL,
+        "baseline_seconds": round(baseline_s, 6),
+        "observed_seconds": round(observed_s, 6),
+        "overhead_ratio": round(ratio, 4),
+        "ceiling": CEILING,
+        "n_events": n_events,
+        "reports_identical_modulo_meta": identical,
+        "rounds": ROUNDS,
+        "cpu_count": os.cpu_count(),
+    }
+    out = Path("BENCH_obs.json")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    print(
+        f"{WORKLOAD}: baseline {baseline_s:.3f}s -> observed "
+        f"{observed_s:.3f}s  ({ratio:.3f}x, ceiling {CEILING}x), "
+        f"{n_events} events logged"
+    )
+    print(f"reports identical modulo meta: {identical}")
+    print(f"wrote {out.resolve()}")
+    if ratio > CEILING:
+        print(
+            f"FAIL: overhead ratio {ratio:.3f} exceeds ceiling {CEILING}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

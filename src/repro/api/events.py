@@ -20,16 +20,43 @@ Invariants
   ``logs-evaluated`` → ``dag-built`` → ``intervention-round``* →
   ``engine-finished`` → ``run-finished``;
 * this module depends on nothing inside :mod:`repro`, so any subsystem
-  (``exec``, ``harness``, ``corpus``) can emit without import cycles.
+  (``exec``, ``harness``, ``corpus``) can emit without import cycles;
+* a raising observer never aborts the run or starves later observers:
+  :meth:`EventBus.emit` isolates every delivery, warns once per broken
+  observer, and keeps delivering to it (it may recover).
 
-Persistence: none — events are ephemeral; durable reporting is the
-job of :meth:`~repro.harness.session.SessionReport.to_dict`.
+Envelopes and spans
+-------------------
+The bus stamps run-scoped context *at emit time* — a monotonically
+increasing sequence number, seconds since the bus was created, a wall
+clock, and the run id — so the frozen event dataclasses stay pure
+descriptions of state changes.  Observers that define ``on_enveloped``
+receive the :class:`Envelope`; plain ``on_event`` observers receive the
+bare event, exactly as before.  :meth:`EventBus.span` times a phase and
+emits a :class:`SpanClosed` event on exit; spans nest (the bus keeps
+the stack), and externally-timed child spans (per-intervention-round
+timings, which chain open→open) go through :meth:`EventBus.emit_span`.
+
+Persistence: none *here* — events are ephemeral on the bus; durable
+telemetry is the job of :class:`repro.obs.JsonlRunLog`, which writes
+each envelope to a schema-versioned JSONL run log, and durable
+reporting remains :meth:`~repro.harness.session.SessionReport.to_dict`.
 """
 
 from __future__ import annotations
 
+import os
+import re
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, ClassVar, Optional, Protocol, Union, runtime_checkable
+
+
+def new_run_id() -> str:
+    """A sortable, collision-resistant run id: UTC stamp + random tail."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{os.urandom(3).hex()}"
 
 
 @dataclass(frozen=True)
@@ -100,6 +127,10 @@ class LogsEvaluated(Event):
     #: persistent eval matrix (both 0/None for plain live evaluation)
     fresh: Optional[int] = None
     memoized: Optional[int] = None
+    #: single-pass kernel batches the fresh pairs rode in on (``None``
+    #: when evaluation is not memoized); ``fresh / kernel_calls`` is the
+    #: mean evalkernel batch size
+    kernel_calls: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -147,6 +178,40 @@ class RunFinished(Event):
     report: object
 
 
+@dataclass(frozen=True)
+class SpanClosed(Event):
+    """A timed phase ended (see :meth:`EventBus.span`).
+
+    Spans close in LIFO order, so a child's ``span-closed`` always
+    precedes its parent's; ``started`` (seconds since the bus was
+    created) recovers the start order offline.
+    """
+
+    kind: ClassVar[str] = "span-closed"
+    name: str
+    duration: float
+    #: nesting depth at open time (0 = top-level phase)
+    depth: int
+    #: enclosing span's name, or ``None`` at the top level
+    parent: Optional[str]
+    #: seconds since the bus was created when the span opened
+    started: float
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Emit-time context the bus stamps around each event."""
+
+    #: 1-based position in this bus's emission order
+    seq: int
+    #: monotonic seconds since the bus was created
+    t: float
+    #: wall-clock unix time of the emission
+    wall: float
+    run_id: str
+    event: Event
+
+
 @runtime_checkable
 class Observer(Protocol):
     """Anything that wants to watch a run."""
@@ -179,7 +244,10 @@ class EventBus:
 
     Plain callables are accepted alongside :class:`Observer` objects;
     subscription order is delivery order.  A bus with no observers is
-    free: ``emit`` short-circuits on an empty list.
+    nearly free: ``emit`` short-circuits on an empty list.  Observers
+    that define ``on_enveloped`` receive an :class:`Envelope` (built
+    lazily, once per event, only when someone wants it) instead of the
+    bare event.
     """
 
     def __init__(
@@ -187,24 +255,156 @@ class EventBus:
         observers: Optional[
             list[Union[Observer, Callable[[Event], None]]]
         ] = None,
+        run_id: Optional[str] = None,
     ) -> None:
         self._observers: list[Observer] = []
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._span_stack: list[str] = []
+        #: ids of observers already warned about (one warning each)
+        self._warned: set[int] = set()
+        #: set to a directory (by ``repro.obs``'s ``--profile``) to
+        #: cProfile every top-level span into ``<run_id>-<name>.prof``
+        self.profile_dir: Optional[str] = None
         for observer in observers or []:
             self.subscribe(observer)
 
     def subscribe(
         self, observer: Union[Observer, Callable[[Event], None]]
     ) -> None:
-        if not hasattr(observer, "on_event"):
+        if not hasattr(observer, "on_event") and not hasattr(
+            observer, "on_enveloped"
+        ):
             observer = _CallableObserver(observer)
         self._observers.append(observer)
 
     def emit(self, event: Event) -> None:
-        for observer in self._observers:
-            observer.on_event(event)
+        observers = self._observers
+        if not observers:
+            return
+        self._seq += 1
+        envelope: Optional[Envelope] = None
+        for observer in observers:
+            deliver = getattr(observer, "on_enveloped", None)
+            if deliver is not None:
+                if envelope is None:
+                    envelope = Envelope(
+                        seq=self._seq,
+                        t=time.perf_counter() - self._t0,
+                        wall=time.time(),
+                        run_id=self.run_id,
+                        event=event,
+                    )
+                payload: object = envelope
+            else:
+                deliver = observer.on_event
+                payload = event
+            try:
+                deliver(payload)
+            except Exception as exc:
+                # Observers never affect results: a broken one is
+                # quarantined to a single warning and the event keeps
+                # flowing to everyone else (and to it — it may recover).
+                key = id(observer)
+                if key not in self._warned:
+                    self._warned.add(key)
+                    warnings.warn(
+                        f"observer {type(observer).__name__} raised "
+                        f"{type(exc).__name__}: {exc} (further errors "
+                        "from this observer are suppressed)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+
+    # -- span tracing -----------------------------------------------------
+
+    def span(self, name: str) -> "Span":
+        """A context manager timing one phase; emits :class:`SpanClosed`
+        on exit.  Spans nest — the bus tracks the open-span stack."""
+        return Span(self, name)
+
+    def emit_span(
+        self, name: str, duration: float, started: Optional[float] = None
+    ) -> None:
+        """Emit a :class:`SpanClosed` for an externally-timed child span
+        (``started`` is a ``time.perf_counter()`` reading); it nests
+        under whatever span is currently open, without joining the
+        stack — the shape intervention rounds need, since round *N*
+        only ends when round *N+1* begins."""
+        if started is None:
+            started = time.perf_counter() - duration
+        stack = self._span_stack
+        self.emit(
+            SpanClosed(
+                name=name,
+                duration=duration,
+                depth=len(stack),
+                parent=stack[-1] if stack else None,
+                started=started - self._t0,
+            )
+        )
 
     def __len__(self) -> int:
         return len(self._observers)
+
+
+class Span:
+    """Times one phase on a bus; see :meth:`EventBus.span`.
+
+    When the bus has a ``profile_dir`` and this is a top-level span,
+    the phase also runs under :mod:`cProfile` and dumps its stats to
+    ``<profile_dir>/<run_id>-<name>.prof`` (top level only — cProfile
+    cannot nest).
+    """
+
+    __slots__ = ("bus", "name", "depth", "parent", "started", "_t0", "_profile")
+
+    def __init__(self, bus: EventBus, name: str) -> None:
+        self.bus = bus
+        self.name = name
+        self.depth = 0
+        self.parent: Optional[str] = None
+        self.started = 0.0
+        self._t0 = 0.0
+        self._profile = None
+
+    def __enter__(self) -> "Span":
+        stack = self.bus._span_stack
+        self.parent = stack[-1] if stack else None
+        self.depth = len(stack)
+        stack.append(self.name)
+        if self.bus.profile_dir is not None and self.depth == 0:
+            import cProfile
+
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+        self._t0 = time.perf_counter()
+        self.started = self._t0 - self.bus._t0
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        duration = time.perf_counter() - self._t0
+        if self._profile is not None:
+            self._profile.disable()
+            safe = re.sub(r"[^\w.-]", "_", self.name)
+            path = os.path.join(
+                self.bus.profile_dir, f"{self.bus.run_id}-{safe}.prof"
+            )
+            self._profile.dump_stats(path)
+            self._profile = None
+        stack = self.bus._span_stack
+        if stack:
+            stack.pop()
+        self.bus.emit(
+            SpanClosed(
+                name=self.name,
+                duration=duration,
+                depth=self.depth,
+                parent=self.parent,
+                started=self.started,
+            )
+        )
 
 
 @dataclass

@@ -30,6 +30,7 @@ Invariants
 
 from __future__ import annotations
 
+import sys
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from .events import EventBus, Observer, RunFinished, RunStarted
@@ -37,17 +38,23 @@ from .spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..harness.session import SessionReport
+    from ..obs import ObsContext
 
 
 def run(
     spec: RunSpec,
     observers: Iterable[Union[Observer, "callable"]] = (),
     bus: Optional[EventBus] = None,
+    obs: Optional["ObsContext"] = None,
 ) -> "SessionReport":
     """Execute one declarative run and return its report.
 
     ``observers`` (or a pre-built ``bus``) receive the run's events in
-    phase order; see :mod:`repro.api.events` for the catalogue.
+    phase order; see :mod:`repro.api.events` for the catalogue.  ``obs``
+    attaches a full :class:`repro.obs.ObsContext` (JSONL run log,
+    metrics registry, progress lines) and stamps the report's ``meta``
+    key with the run id and metrics snapshot — everything else about
+    the report stays byte-identical.
     """
     from ..core.variants import Approach
     from ..corpus import CorpusSession, TraceStore
@@ -56,8 +63,12 @@ def run(
     spec.validate()
     if bus is None:
         bus = EventBus(list(observers))
+    if obs is not None:
+        obs.install(bus)
     mode = spec.mode
     engine = spec.engine.build(bus=bus)
+    if obs is not None:
+        obs.watch_engine(engine)
     try:
         if mode == "incremental":
             report = _run_incremental(spec, engine, bus)
@@ -94,9 +105,20 @@ def run(
                 report = session.run(Approach(spec.analysis.approach))
     finally:
         # An interrupted run still persists the outcomes it paid for
-        # (and observers still see the engine-finished accounting).
+        # (and observers still see the engine-finished accounting); an
+        # interrupted run log is closed as a valid prefix.
         engine.finish()
+        if obs is not None:
+            obs_error = sys.exc_info()[0] is not None
+            if obs_error:
+                obs.close()
+    if obs is not None:
+        # Stamp before run-finished so the event (and the run log's
+        # copy of the report) already carries run id + metrics.
+        obs.stamp(report)
     bus.emit(RunFinished(report=report))
+    if obs is not None:
+        obs.close()
     return report
 
 

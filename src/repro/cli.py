@@ -23,14 +23,22 @@ Commands
     rediscovery), compaction of shadowed matrix rows, and in-place
     resharding (``reshard DIR --width W``) preserving every memoized
     pair.  ``debug --corpus DIR`` then debugs from the stored logs
-    instead of re-running the collection sweep.
+    instead of re-running the collection sweep.  ``stats --json``
+    emits a versioned machine-readable payload.
+``obs summary|compare|tail``
+    Inspect durable run telemetry: the schema-versioned JSONL run logs
+    that ``run``/``debug``/``corpus analyze`` write under ``--log-dir``
+    (see :mod:`repro.obs`).
 
 Every subcommand that runs the pipeline builds a
 :class:`~repro.api.spec.RunSpec` internally and dispatches through
 :func:`repro.api.run`; the intervention-heavy commands (``debug``,
 ``figure7``, ``figure8``, ``run``) share one engine-flag code path
 (``--jobs/--backend/--cache``, see
-:meth:`~repro.api.spec.EngineSpec.add_flags`).
+:meth:`~repro.api.spec.EngineSpec.add_flags`) and the pipeline
+commands share one observability-flag code path
+(``--log-dir/--progress/--metrics/--profile``, see
+:func:`repro.obs.cli.add_obs_flags`).
 """
 
 from __future__ import annotations
@@ -63,6 +71,8 @@ from .harness.experiments import (
     figure8_report,
 )
 from .harness.tables import render_table
+from .obs.cli import add_obs_flags, add_obs_subcommand, cmd_obs, obs_from_args
+from .obs.metrics import render_snapshot
 from .sim.scheduler import Simulator
 from .sim.serialize import trace_to_json
 from .workloads.common import REGISTRY
@@ -150,16 +160,30 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_spec(spec: RunSpec, log: EventLog, corpus_flag: bool = False):
+def _run_spec(
+    spec: RunSpec, log: EventLog, corpus_flag: bool = False, obs=None
+):
     """Dispatch through :func:`repro.api.run` with CLI error wrapping."""
     try:
-        return api_run(spec, observers=[log])
+        return api_run(spec, observers=[log], obs=obs)
     except SpecError as exc:
         raise _spec_exit(exc) from exc
     except CorpusError as exc:
         _print_engine_summary(log)
         flag = "--corpus" if corpus_flag else "corpus"
         raise SystemExit(f"repro: {flag}: {exc}") from exc
+
+
+def _finish_obs(args: argparse.Namespace, obs) -> None:
+    """The post-run observability epilogue: where the log landed, and
+    the ``--metrics`` snapshot — on stderr, so ``--json`` stdout stays
+    machine-clean."""
+    if obs is None:
+        return
+    if obs.log_path is not None:
+        print(f"run log  : {obs.log_path}", file=sys.stderr)
+    if getattr(args, "metrics", False):
+        print(render_snapshot(obs.final_snapshot()), file=sys.stderr)
 
 
 def _cmd_debug(args: argparse.Namespace) -> int:
@@ -171,9 +195,11 @@ def _cmd_debug(args: argparse.Namespace) -> int:
         analysis=AnalysisSpec(approach=args.approach, rng_seed=args.seed),
     )
     log = EventLog()
-    report = _run_spec(spec, log, corpus_flag=True)
+    obs = obs_from_args(args)
+    report = _run_spec(spec, log, corpus_flag=True, obs=obs)
     _print_session_report(args, log, report, workload_name=args.workload)
     _print_engine_summary(log)
+    _finish_obs(args, obs)
     return 0
 
 
@@ -183,9 +209,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except SpecError as exc:
         raise SystemExit(f"repro: run: {exc}") from exc
     log = EventLog()
-    report = _run_spec(spec, log)
+    obs = obs_from_args(args)
+    report = _run_spec(spec, log, obs=obs)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        _finish_obs(args, obs)
         return 0
     if report.discovery is not None:
         _print_session_report(
@@ -195,6 +223,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _print_engine_summary(log)
     else:
         _print_analysis_report(args, log, report)
+    _finish_obs(args, obs)
     return 0
 
 
@@ -347,6 +376,9 @@ def _cmd_corpus_ingest(args: argparse.Namespace) -> int:
 
 def _cmd_corpus_stats(args: argparse.Namespace) -> int:
     store = TraceStore.open(args.dir)
+    if args.json:
+        print(json.dumps(store.stats_dict(), indent=2, sort_keys=True))
+        return 0
     print(f"corpus   : {args.dir}")
     print(f"program  : {store.program or '(unpinned)'}")
     print(f"traces   : {len(store)} ({store.n_pass} pass / {store.n_fail} fail)")
@@ -445,8 +477,10 @@ def _cmd_corpus_analyze(args: argparse.Namespace) -> int:
         engine=EngineSpec(jobs=args.jobs, backend=args.backend),
     )
     log = EventLog()
-    report = _run_spec(spec, log)
+    obs = obs_from_args(args)
+    report = _run_spec(spec, log, obs=obs)
     _print_analysis_report(args, log, report)
+    _finish_obs(args, obs)
     return 0
 
 
@@ -524,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     runp.add_argument("--dot", action="store_true",
                       help="also print the AC-DAG in Graphviz format")
+    add_obs_flags(runp)
 
     debug = sub.add_parser("debug", help="debug a case study with AID")
     debug.add_argument("workload", choices=REGISTRY.names())
@@ -546,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
         "memoized across invocations)",
     )
     EngineSpec.add_flags(debug)
+    add_obs_flags(debug)
 
     fig7 = sub.add_parser("figure7", help="regenerate the case-study table")
     EngineSpec.add_flags(fig7)
@@ -613,6 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     cstats = csub.add_parser("stats", help="corpus and eval-matrix summary")
     cstats.add_argument("dir")
+    cstats.add_argument(
+        "--json", action="store_true",
+        help="print a versioned machine-readable stats payload instead "
+        "of text (for service health checks)",
+    )
 
     cshards = csub.add_parser(
         "shard-stats",
@@ -640,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where shard evaluation runs (default serial; --jobs N>1 "
         "implies thread)",
     )
+    add_obs_flags(canalyze)
 
     ccompact = csub.add_parser(
         "compact",
@@ -661,6 +703,8 @@ def build_parser() -> argparse.ArgumentParser:
         "0 disables sharding)",
     )
 
+    add_obs_subcommand(sub)
+
     return parser
 
 
@@ -674,6 +718,7 @@ _COMMANDS = {
     "example3": _cmd_example3,
     "trace": _cmd_trace,
     "corpus": _cmd_corpus,
+    "obs": cmd_obs,
 }
 
 

@@ -15,7 +15,11 @@ the benchmarks, and the test suite — and :func:`validate_report_dict`
 checks a payload against the schema, returning actionable problems.
 The dict is a pure function of the analysis results (no wall-clock
 times, no machine state), so two runs that computed the same thing
-serialize byte-identically.
+serialize byte-identically.  The one deliberate exception is the
+additive ``meta`` key: its ``run_id`` and ``metrics`` stay ``None``
+unless observability was explicitly attached to the run (see
+:mod:`repro.obs`), in which case they carry the run id and the metrics
+snapshot — and only they differ between two otherwise-identical runs.
 """
 
 from __future__ import annotations
@@ -146,6 +150,16 @@ def report_to_dict(report) -> dict:
     graph = report.dag.graph
     payload: dict = {
         "schema": REPORT_SCHEMA_VERSION,
+        # Observability metadata: run_id and metrics stay None unless a
+        # repro.obs.ObsContext was attached — the rest of the payload is
+        # byte-identical with observability on or off (metrics carry
+        # wall-clock, so stamping them unconditionally would break the
+        # "pure function of the analysis results" invariant above).
+        "meta": {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "run_id": getattr(report, "run_id", None),
+            "metrics": getattr(report, "metrics", None),
+        },
         "kind": "session" if discovery is not None else "analysis",
         "program": program,
         "approach": report.approach.value if report.approach else None,
@@ -183,6 +197,7 @@ def report_to_dict(report) -> dict:
 #: :func:`validate_report_dict`
 _TOP_LEVEL_KEYS = {
     "schema": (int, False),
+    "meta": (dict, False),
     "kind": (str, False),
     "program": (str, True),
     "approach": (str, True),
@@ -212,7 +227,10 @@ def validate_report_dict(payload: object) -> list[str]:
         )
     for key, (expected, nullable) in _TOP_LEVEL_KEYS.items():
         if key not in payload:
-            problems.append(f"{key}: missing")
+            # "meta" arrived in-version as an additive key: payloads
+            # written before it are still valid version-1 reports.
+            if key != "meta":
+                problems.append(f"{key}: missing")
             continue
         value = payload[key]
         if value is None:
@@ -233,6 +251,16 @@ def validate_report_dict(payload: object) -> list[str]:
     if problems:
         return problems
 
+    meta = payload.get("meta")
+    if isinstance(meta, dict):
+        for subkey in ("schema_version", "run_id", "metrics"):
+            if subkey not in meta:
+                problems.append(f"meta.{subkey}: missing")
+        if meta.get("schema_version") != payload["schema"]:
+            problems.append(
+                f"meta.schema_version: expected {payload['schema']}, "
+                f"got {meta.get('schema_version')!r}"
+            )
     kind = payload["kind"]
     if kind not in ("session", "analysis"):
         problems.append(

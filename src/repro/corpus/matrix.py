@@ -96,6 +96,9 @@ class EvalMatrix:
         #: fresh predicate evaluations / memo hits, this instance
         self.pair_evaluations = 0
         self.pair_hits = 0
+        #: single-pass kernel batches the fresh pairs rode in on —
+        #: ``pair_evaluations / kernel_calls`` is the mean batch size
+        self.kernel_calls = 0
         #: (suite, {pid: digest}) — definition digests are a pure
         #: function of the frozen suite, so computing them per (pid,
         #: trace) pair would dominate warm evaluation
@@ -201,6 +204,7 @@ class EvalMatrix:
                 ),
             )
             self.pair_evaluations += len(undecided)
+            self.kernel_calls += 1
             for pid in undecided:
                 self.evaluated[pid] = self.evaluated.get(pid, 0) | mask
                 obs = fresh.get(pid)
@@ -726,6 +730,11 @@ class ShardedEvalMatrix:
     def pair_hits(self) -> int:
         """Memo hits answered through this instance."""
         return sum(m.pair_hits for m in self._shards.values())
+
+    @property
+    def kernel_calls(self) -> int:
+        """Single-pass kernel batches behind the fresh evaluations."""
+        return sum(m.kernel_calls for m in self._shards.values())
 
     @property
     def n_pairs(self) -> int:

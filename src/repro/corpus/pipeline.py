@@ -57,6 +57,7 @@ counters rebuild from the matrix for free on the next bootstrap.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional, Sequence, TYPE_CHECKING
 
@@ -136,6 +137,12 @@ class IncrementalPipeline:
         if self.bus is not None:
             self.bus.emit(event)
 
+    def _span(self, name: str):
+        """A timed phase span on the pipeline's bus (no-op without one)."""
+        if self.bus is not None:
+            return self.bus.span(name)
+        return nullcontext()
+
     @property
     def logs(self) -> list[PredicateLog]:
         """The analysis logs, in canonical corpus order.
@@ -207,13 +214,14 @@ class IncrementalPipeline:
             corpus = self.store.labeled_corpus().restrict_failures(
                 self.signature
             )
-            self.suite = PredicateSuite.discover(
-                corpus.successes,
-                corpus.failures,
-                extractors=self.extractors,
-                program=self.program,
-                engine=engine,
-            )
+            with self._span("discovery"):
+                self.suite = PredicateSuite.discover(
+                    corpus.successes,
+                    corpus.failures,
+                    extractors=self.extractors,
+                    program=self.program,
+                    engine=engine,
+                )
             if self.extractors is None:
                 # Memoize the freeze for the next analyze over this
                 # exact content (custom extractor stacks are not
@@ -229,14 +237,15 @@ class IncrementalPipeline:
             self._emit(
                 SuiteFrozen(n_predicates=len(self.suite), source=suite_source)
             )
-            evaluations = self.matrix.evaluate_shards(
-                self.suite,
-                corpus.successes + corpus.failures,
-                engine=engine,
-                return_logs=False,
-                build_dags=True,
-                policy=self.policy,
-            )
+            with self._span("evaluate"):
+                evaluations = self.matrix.evaluate_shards(
+                    self.suite,
+                    corpus.successes + corpus.failures,
+                    engine=engine,
+                    return_logs=False,
+                    build_dags=True,
+                    policy=self.policy,
+                )
         else:
             # Pre-frozen suite: nothing global needs the trace bodies,
             # so shard tasks load their own traces — deserialization
@@ -254,14 +263,15 @@ class IncrementalPipeline:
             self._emit(
                 SuiteFrozen(n_predicates=len(self.suite), source=suite_source)
             )
-            evaluations = self.matrix.evaluate_fingerprints(
-                self.suite,
-                fingerprints,
-                engine=engine,
-                return_logs=False,
-                build_dags=True,
-                policy=self.policy,
-            )
+            with self._span("evaluate"):
+                evaluations = self.matrix.evaluate_fingerprints(
+                    self.suite,
+                    fingerprints,
+                    engine=engine,
+                    return_logs=False,
+                    build_dags=True,
+                    policy=self.policy,
+                )
         # Logs stay in the workers; the canonical-order list (successes
         # then failures, fingerprint-sorted — independent of how shards
         # were scheduled) materializes lazily from the matrix bitsets.
@@ -272,31 +282,33 @@ class IncrementalPipeline:
                 n_logs=len(fingerprints),
                 fresh=self.matrix.pair_evaluations,
                 memoized=self.matrix.pair_hits,
+                kernel_calls=self.matrix.kernel_calls,
             )
         )
-        self.debugger = IncrementalDebugger()
-        for evaluation in evaluations:  # sorted shard order
-            self.debugger.merge(evaluation.counters)
-        failure_pids = [
-            pid
-            for pid in self.suite.failure_pids()
-            if self.debugger.counts.get(pid, (0, 0))[0]
-        ]
-        if not failure_pids:
-            raise CorpusError("no failure predicate was extracted")
-        self.failure_pid = failure_pids[0]
-        self.fully = self._derive_fully()
-        dags = [ev.dag for ev in evaluations if ev.dag is not None]
-        if not dags:
-            raise CorpusError("corpus has no failed traces to analyze")
-        # Each shard built its partial DAG over its own failed logs;
-        # the merge (edge intersection, summed supports, re-applied
-        # ancestors-of-F filter) equals one build over all failed logs —
-        # after restricting to the *global* FD set, because a shard
-        # holding only successes contributes no partial DAG yet can
-        # still break another shard's local candidates' precision.
-        self.dag = ACDag.merge(dags)
-        self.dag.restrict_to(set(self.fully) | {self.failure_pid})
+        with self._span("dag-build"):
+            self.debugger = IncrementalDebugger()
+            for evaluation in evaluations:  # sorted shard order
+                self.debugger.merge(evaluation.counters)
+            failure_pids = [
+                pid
+                for pid in self.suite.failure_pids()
+                if self.debugger.counts.get(pid, (0, 0))[0]
+            ]
+            if not failure_pids:
+                raise CorpusError("no failure predicate was extracted")
+            self.failure_pid = failure_pids[0]
+            self.fully = self._derive_fully()
+            dags = [ev.dag for ev in evaluations if ev.dag is not None]
+            if not dags:
+                raise CorpusError("corpus has no failed traces to analyze")
+            # Each shard built its partial DAG over its own failed logs;
+            # the merge (edge intersection, summed supports, re-applied
+            # ancestors-of-F filter) equals one build over all failed logs —
+            # after restricting to the *global* FD set, because a shard
+            # holding only successes contributes no partial DAG yet can
+            # still break another shard's local candidates' precision.
+            self.dag = ACDag.merge(dags)
+            self.dag.restrict_to(set(self.fully) | {self.failure_pid})
         self._bootstrapped = True
         from ..api.events import DagBuilt
 
@@ -328,6 +340,10 @@ class IncrementalPipeline:
         """
         if not self.bootstrapped:
             raise CorpusError("bootstrap() the pipeline before ingesting")
+        with self._span("ingest"):
+            return self._ingest(trace)
+
+    def _ingest(self, trace) -> IngestResult:
         fp, added = self.store.ingest(trace)
         failed = trace.failed
         if not added:

@@ -99,6 +99,10 @@ class CorpusSession(AIDSession):
         """Matrix counters: fresh ``evaluate`` calls vs memo answers."""
         return self.matrix.pair_evaluations, self.matrix.pair_hits
 
+    def _kernel_calls(self):
+        """Kernel batches the matrix dispatched for the fresh pairs."""
+        return self.matrix.kernel_calls
+
     def _workload_key(self) -> str:
         """Outcome-cache namespace for corpus-backed runs.
 

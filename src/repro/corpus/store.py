@@ -80,6 +80,8 @@ TRACES_DIR = "traces"
 SHARDS_DIR = "shards"
 STORE_VERSION = 2
 SUITE_FILE_VERSION = 1
+#: version of the ``repro corpus stats --json`` payload
+STATS_SCHEMA_VERSION = 1
 DEFAULT_SHARD_WIDTH = 2
 #: shard id used when sharding is disabled (width 0)
 SINGLE_SHARD_ID = "all"
@@ -596,6 +598,35 @@ class TraceStore:
         if not counts:
             return None
         return max(sorted(counts), key=lambda s: counts[s])
+
+    def stats_dict(self) -> dict:
+        """The ``repro corpus stats --json`` payload: a versioned,
+        machine-readable snapshot of corpus and eval-matrix health —
+        what a service health check polls instead of screen-scraping
+        the text stats (mirrors the report-schema pattern: a ``schema``
+        field, sorted keys, pure function of the stored state)."""
+        matrix = self.eval_matrix()
+        return {
+            "schema": STATS_SCHEMA_VERSION,
+            "dir": str(self.root),
+            "program": self.program,
+            "traces": {
+                "total": len(self),
+                "pass": self.n_pass,
+                "fail": self.n_fail,
+            },
+            "shards": {
+                "width": self.shard_width,
+                "populated": len(self.shard_ids),
+            },
+            "signatures": dict(sorted(self.signature_counts().items())),
+            "matrix": {
+                "predicates": matrix.n_pids,
+                "traces": matrix.n_traces,
+                "pairs": matrix.n_pairs,
+                "coverage": round(matrix.coverage(), 6),
+            },
+        }
 
 
 def _migrate_v1(root: Path, manifest: dict) -> dict:

@@ -205,6 +205,8 @@ class ExecutionEngine:
         #: instance+function, so every wave of a runner reuses the same
         #: object — which lets the process backend keep its pool forked).
         self._timed: dict[RunFn, Callable] = {}
+        #: the open per-round span: (phase, index, perf_counter at open)
+        self._open_round: Optional[tuple[str, int, float]] = None
 
     # -- the API runners use --------------------------------------------
 
@@ -226,13 +228,34 @@ class ExecutionEngine:
 
     def note_round(self, phase: str) -> None:
         """Algorithms mark round boundaries for the stats report (and
-        any subscribed observers — the live progress seam)."""
+        any subscribed observers — the live progress seam).  With a bus
+        attached, each round also becomes a timed ``round:<phase>#<n>``
+        span: a round only ends when the next begins (or the engine
+        finishes), so spans chain open→open via :meth:`end_rounds`
+        rather than nesting as context managers."""
         self.stats.note_round(phase)
         if self.bus is not None:
             from ..api.events import InterventionRound
 
+            self.end_rounds()
             self.bus.emit(
                 InterventionRound(phase=phase, index=self.stats.rounds[phase])
+            )
+            self._open_round = (
+                phase, self.stats.rounds[phase], time.perf_counter()
+            )
+
+    def end_rounds(self) -> None:
+        """Close the open per-round span, if any — called between
+        rounds, by the session when discovery returns, and defensively
+        by :meth:`finish`."""
+        if self._open_round is not None and self.bus is not None:
+            phase, index, started = self._open_round
+            self._open_round = None
+            self.bus.emit_span(
+                f"round:{phase}#{index}",
+                time.perf_counter() - started,
+                started=started,
             )
 
     # -- low-level dispatch ---------------------------------------------
@@ -280,6 +303,7 @@ class ExecutionEngine:
         """Flush, close, and return the human-readable summary — the
         one teardown path every CLI subcommand and :func:`repro.api.run`
         share.  Also emits an ``engine-finished`` event."""
+        self.end_rounds()
         saved = self.flush()
         self.close()
         lines = [self.stats.report()]

@@ -58,6 +58,23 @@ class ExecStats:
             return 1.0
         return self.run_time / self.wall_time
 
+    def metrics(self) -> dict[str, float]:
+        """The counters as a flat gauge map, in the shape a
+        :class:`repro.obs.MetricsRegistry` provider returns."""
+        gauges: dict[str, float] = {
+            "exec.executed": self.executed,
+            "exec.cached": self.cached,
+            "exec.groups": self.groups,
+            "exec.batches": self.batches,
+            "exec.wall_time": round(self.wall_time, 6),
+            "exec.run_time": round(self.run_time, 6),
+            "exec.hit_rate": round(self.hit_rate, 6),
+            "exec.speedup": round(self.speedup, 6),
+        }
+        for phase, count in self.rounds.items():
+            gauges[f"exec.rounds.{phase}"] = count
+        return gauges
+
     def report(self, title: str = "exec stats") -> str:
         """Human-readable multi-line summary."""
         lines = [

@@ -13,6 +13,7 @@ around this class.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -89,6 +90,11 @@ class SessionReport:
     #: program name fallback when no live :class:`Program` is attached
     #: (an unbundled program analyzed from a stored corpus)
     program_name: Optional[str] = None
+    #: observability metadata (the report's additive ``meta`` key):
+    #: both stay ``None`` unless a :class:`repro.obs.ObsContext` was
+    #: attached to the run, keeping reports reproducible by default
+    run_id: Optional[str] = None
+    metrics: Optional[dict] = None
 
     @property
     def n_sd_predicates(self) -> int:
@@ -136,6 +142,12 @@ class AIDSession:
         if self.config.bus is not None:
             self.config.bus.emit(event)
 
+    def _span(self, name: str):
+        """A timed phase span on the session's bus (no-op without one)."""
+        if self.config.bus is not None:
+            return self.config.bus.span(name)
+        return nullcontext()
+
     # -- pipeline stages (each cached, callable individually) -----------
 
     def collect(self) -> LabeledCorpus:
@@ -151,13 +163,14 @@ class AIDSession:
                     n_fail=cfg.n_fail,
                 )
             )
-            corpus = collect(
-                self.program,
-                n_success=cfg.n_success,
-                n_fail=cfg.n_fail,
-                start_seed=cfg.start_seed,
-                max_steps=cfg.max_steps,
-            )
+            with self._span("collection"):
+                corpus = collect(
+                    self.program,
+                    n_success=cfg.n_success,
+                    n_fail=cfg.n_fail,
+                    start_seed=cfg.start_seed,
+                    max_steps=cfg.max_steps,
+                )
             signature = corpus.dominant_failure_signature()
             self._signature = signature
             self._corpus = corpus.restrict_failures(signature)
@@ -176,21 +189,26 @@ class AIDSession:
             from ..api.events import LogsEvaluated, SuiteFrozen
 
             corpus = self.collect()
-            self._suite = PredicateSuite.discover(
-                corpus.successes,
-                corpus.failures,
-                extractors=self.config.extractors,
-                program=self.program,
-                engine=self.config.engine,
-            )
+            with self._span("discovery"):
+                self._suite = PredicateSuite.discover(
+                    corpus.successes,
+                    corpus.failures,
+                    extractors=self.config.extractors,
+                    program=self.program,
+                    engine=self.config.engine,
+                )
             self._emit(SuiteFrozen(n_predicates=len(self._suite)))
-            self._logs = self._evaluate_logs(
-                corpus.successes + corpus.failures
-            )
+            with self._span("evaluate"):
+                self._logs = self._evaluate_logs(
+                    corpus.successes + corpus.failures
+                )
             fresh, memoized = self._evaluation_counters()
             self._emit(
                 LogsEvaluated(
-                    n_logs=len(self._logs), fresh=fresh, memoized=memoized
+                    n_logs=len(self._logs),
+                    fresh=fresh,
+                    memoized=memoized,
+                    kernel_calls=self._kernel_calls(),
                 )
             )
             self._debugger = StatisticalDebugger(logs=self._logs)
@@ -227,6 +245,12 @@ class AIDSession:
         sessions); overridden by :class:`~repro.corpus.session.CorpusSession`."""
         return None, None
 
+    def _kernel_calls(self) -> Optional[int]:
+        """Single-pass kernel batches behind the fresh evaluations —
+        ``None`` when evaluation is not memoized (live sessions);
+        overridden by :class:`~repro.corpus.session.CorpusSession`."""
+        return None
+
     @property
     def failure_pid(self) -> str:
         self.analyze()
@@ -244,13 +268,14 @@ class AIDSession:
 
             self.analyze()
             failed_logs = [log for log in self._logs if log.failed]
-            self._dag = ACDag.build(
-                defs=dict(self._suite.defs),
-                failed_logs=failed_logs,
-                failure=self._failure_pid,
-                policy=self.config.policy or default_policy(),
-                candidate_pids=self._fully,
-            )
+            with self._span("dag-build"):
+                self._dag = ACDag.build(
+                    defs=dict(self._suite.defs),
+                    failed_logs=failed_logs,
+                    failure=self._failure_pid,
+                    policy=self.config.policy or default_policy(),
+                    candidate_pids=self._fully,
+                )
             self._emit(
                 DagBuilt(
                     n_nodes=self._dag.graph.number_of_nodes(),
@@ -300,9 +325,14 @@ class AIDSession:
         dag = self.build_dag()
         runner = self.make_runner()
         rng = random.Random(self.config.rng_seed)
-        discovery = discover(
-            approach, dag, runner, rng=rng, engine=self.config.engine
-        )
+        with self._span("interventions"):
+            discovery = discover(
+                approach, dag, runner, rng=rng, engine=self.config.engine
+            )
+            # Rounds chain open->open (see ExecutionEngine.note_round);
+            # close the last one inside the interventions span.
+            if self.config.engine is not None:
+                self.config.engine.end_rounds()
         explanation = explain(discovery, self._suite.defs)
         return SessionReport(
             program=self.program,

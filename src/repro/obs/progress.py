@@ -1,0 +1,82 @@
+"""The stderr progress line: one human-readable row per run event.
+
+An enveloped observer (it wants the bus timestamps) that narrates a run
+as it happens — what ``--progress`` turns on.  Purely cosmetic: it
+reads event payloads and writes to a stream, nothing else.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, TextIO
+
+from ..api.events import Envelope, Event
+
+
+def describe_event(event: Event) -> Optional[str]:
+    """A one-line description of an event, or ``None`` to stay quiet."""
+    kind = event.kind
+    if kind == "run-started":
+        return (
+            f"run started: {event.program or '(corpus program)'} "
+            f"[{event.mode}"
+            + (f", {event.approach}]" if event.approach else "]")
+        )
+    if kind == "collection-started":
+        return (
+            f"collecting {event.n_success}+{event.n_fail} traces "
+            f"of {event.program}"
+        )
+    if kind == "collection-finished":
+        return (
+            f"collected {event.n_success} pass / {event.n_fail} fail "
+            f"(signature {event.signature})"
+        )
+    if kind == "corpus-loaded":
+        return (
+            f"corpus loaded: {event.n_traces} traces "
+            f"({event.n_pass} pass / {event.n_fail} fail)"
+        )
+    if kind == "suite-frozen":
+        return f"suite frozen: {event.n_predicates} predicates ({event.source})"
+    if kind == "logs-evaluated":
+        parts = [f"evaluated {event.n_logs} logs"]
+        if event.fresh is not None or event.memoized is not None:
+            parts.append(
+                f"({event.fresh or 0} fresh, {event.memoized or 0} memoized)"
+            )
+        return " ".join(parts)
+    if kind == "dag-built":
+        return f"AC-DAG built: {event.n_nodes} nodes, {event.n_edges} edges"
+    if kind == "intervention-round":
+        return f"intervention round {event.index} ({event.phase})"
+    if kind == "dag-patched":
+        removed = (
+            f", -{len(event.removed_pids)} pids" if event.removed_pids else ""
+        )
+        return f"ingested {event.fingerprint[:12]}{removed}"
+    if kind == "span-closed":
+        indent = "  " * event.depth
+        return f"{indent}{event.name} took {event.duration:.3f}s"
+    if kind == "engine-finished":
+        return (
+            f"engine finished: {event.executed} executed, "
+            f"{event.cached} cached"
+        )
+    if kind == "run-finished":
+        return "run finished"
+    return None
+
+
+class ProgressLine:
+    """Writes ``[ +t] description`` to stderr (or a given stream)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self._stream = stream
+
+    def on_enveloped(self, envelope: Envelope) -> None:
+        text = describe_event(envelope.event)
+        if text is None:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(f"[{envelope.t:8.3f}s] {text}", file=stream, flush=True)

@@ -1,0 +1,222 @@
+"""Durable run telemetry: the schema-versioned JSONL run log.
+
+Role
+----
+:class:`JsonlRunLog` is an enveloped observer (see
+:class:`~repro.api.events.Envelope`) that writes one
+``<log_dir>/<run_id>.jsonl`` per run:
+
+* line 1 — the **header**: ``{"schema": N, "run_id": ..., "created":
+  unix-time}``;
+* one line per enveloped event: ``{"seq", "t", "wall", "kind",
+  "data"}`` where ``data`` is the event's dataclass payload
+  (``span-closed`` lines carry the span timings, ``run-finished``
+  carries the full versioned report dict);
+* after ``run-finished`` — an optional trailing **metrics** line
+  ``{"kind": "metrics", "data": <registry snapshot>}``.
+
+Each line is flushed as written, so ``repro obs tail --follow`` can
+watch a live run.
+
+:func:`read_run_log` round-trips a log back into typed events — a
+:class:`~repro.api.events.EventLog` replays offline exactly as the live
+observers saw the run — and **rejects** logs written by a future schema
+(:class:`RunLogError`), mirroring the report-schema versioning policy.
+
+Invariants
+----------
+* writing is append-only and line-buffered; a crashed run leaves a
+  valid prefix (every line is a complete JSON object);
+* replay preserves emission order, payloads, and envelope context
+  (``seq``/``t``/``wall`` survive in the raw records);
+* the only lossy hop is ``run-finished``: the live event carries the
+  report *object*, the replayed one carries its ``to_dict()`` payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Optional
+
+from ..api import events as _events
+from ..api.events import Envelope, Event, EventLog
+
+#: bump on any backwards-incompatible change to the line shapes above
+RUN_LOG_SCHEMA_VERSION = 1
+
+#: event kind -> dataclass, rebuilt from the event catalogue so new
+#: event types round-trip without touching this module
+EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in vars(_events).values()
+    if isinstance(cls, type)
+    and issubclass(cls, Event)
+    and cls is not Event
+    and dataclasses.is_dataclass(cls)
+}
+
+
+class RunLogError(RuntimeError):
+    """A run log that cannot be read (not a log, or a future schema)."""
+
+
+def _event_payload(event: Event) -> dict:
+    """An event's fields as a JSON-able dict (``kind`` is a ClassVar
+    and rides outside the payload)."""
+    data = {}
+    for field in dataclasses.fields(event):
+        value = getattr(event, field.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        elif hasattr(value, "to_dict"):
+            value = value.to_dict()
+        data[field.name] = value
+    return data
+
+
+def _event_from(kind: str, data: dict) -> Event:
+    """Rebuild the typed event a log line describes."""
+    cls = EVENT_TYPES.get(kind)
+    if cls is None:
+        raise RunLogError(f"unknown event kind {kind!r}")
+    kwargs = dict(data)
+    for field in dataclasses.fields(cls):
+        if "frozenset" in str(field.type) and isinstance(
+            kwargs.get(field.name), list
+        ):
+            kwargs[field.name] = frozenset(kwargs[field.name])
+    return cls(**kwargs)
+
+
+class JsonlRunLog:
+    """Observer writing the durable JSONL run log described above.
+
+    ``metrics`` is an optional zero-argument callable returning the
+    final registry snapshot; it is polled once, right after the
+    ``run-finished`` line lands (:class:`repro.obs.ObsContext` wires
+    the registry's cached snapshot in here so the log and the report
+    carry the same numbers).
+    """
+
+    def __init__(
+        self, log_dir, metrics: Optional[callable] = None
+    ) -> None:
+        self.dir = Path(log_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._metrics = metrics
+        self._handle = None
+        self.path: Optional[Path] = None
+
+    def on_enveloped(self, envelope: Envelope) -> None:
+        if self._handle is None:
+            self.path = self.dir / f"{envelope.run_id}.jsonl"
+            self._handle = self.path.open("w")
+            self._write(
+                {
+                    "schema": RUN_LOG_SCHEMA_VERSION,
+                    "run_id": envelope.run_id,
+                    "created": envelope.wall,
+                }
+            )
+        self._write(
+            {
+                "seq": envelope.seq,
+                "t": round(envelope.t, 6),
+                "wall": envelope.wall,
+                "kind": envelope.event.kind,
+                "data": _event_payload(envelope.event),
+            }
+        )
+        if envelope.event.kind == "run-finished":
+            if self._metrics is not None:
+                snapshot = self._metrics()
+                if snapshot is not None:
+                    self._write({"kind": "metrics", "data": snapshot})
+            self.close()
+
+    def _write(self, obj: dict) -> None:
+        json.dump(obj, self._handle, sort_keys=True, default=str)
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+@dataclasses.dataclass
+class RunLogReplay:
+    """One run log read back: typed events plus the raw envelope rows."""
+
+    path: Path
+    run_id: str
+    schema: int
+    created: Optional[float]
+    #: raw per-event rows, each ``{"seq", "t", "wall", "kind", "data"}``
+    records: list[dict]
+    #: the same events, replayed through the reference observer
+    events: EventLog
+    #: the trailing metrics snapshot, if the run wrote one
+    metrics: Optional[dict]
+
+
+def read_run_log(path) -> RunLogReplay:
+    """Parse a JSONL run log back into typed events.
+
+    Raises :class:`RunLogError` on a missing/garbled header, a schema
+    newer than :data:`RUN_LOG_SCHEMA_VERSION`, or an unknown event kind.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise RunLogError(f"cannot read {path}: {exc}") from exc
+    rows = []
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise RunLogError(f"{path}:{i + 1}: not JSON: {exc}") from exc
+    if not rows or not isinstance(rows[0], dict) or "schema" not in rows[0]:
+        raise RunLogError(f"{path}: not a run log (missing schema header)")
+    header = rows[0]
+    schema = header["schema"]
+    if not isinstance(schema, int) or schema > RUN_LOG_SCHEMA_VERSION:
+        raise RunLogError(
+            f"{path}: written by run-log schema {schema!r}; this build "
+            f"reads versions <= {RUN_LOG_SCHEMA_VERSION}"
+        )
+    events = EventLog()
+    records: list[dict] = []
+    metrics: Optional[dict] = None
+    for row in rows[1:]:
+        if row.get("kind") == "metrics" and "seq" not in row:
+            metrics = row.get("data")
+            continue
+        events.on_event(_event_from(row["kind"], row["data"]))
+        records.append(row)
+    return RunLogReplay(
+        path=path,
+        run_id=header.get("run_id", path.stem),
+        schema=schema,
+        created=header.get("created"),
+        records=records,
+        events=events,
+        metrics=metrics,
+    )
+
+
+def latest_run_log(log_dir) -> Path:
+    """The newest ``*.jsonl`` in a log directory (most recent mtime)."""
+    log_dir = Path(log_dir)
+    candidates = sorted(
+        log_dir.glob("*.jsonl"), key=lambda p: (p.stat().st_mtime, p.name)
+    )
+    if not candidates:
+        raise RunLogError(f"no .jsonl run logs in {log_dir}")
+    return candidates[-1]

@@ -1,0 +1,153 @@
+"""Offline run inspection: phase-timing breakdowns from a JSONL log.
+
+Everything here works from a :class:`~repro.obs.runlog.RunLogReplay` —
+no live bus, no session objects — which is the point: a run that
+finished (or crashed) on another machine is fully explainable from its
+``runs/<run_id>.jsonl`` alone.  ``repro obs summary`` renders one run,
+``repro obs compare`` sets two side by side (the tool the BENCH_eval
+parallel-discovery regression needed: *which phase* ate the
+wall-clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .metrics import render_snapshot
+from .runlog import RunLogReplay
+
+
+@dataclass
+class PhaseTiming:
+    """One closed span, in start order."""
+
+    name: str
+    duration: float
+    depth: int
+    parent: Optional[str]
+    started: float
+
+
+@dataclass
+class RunSummary:
+    """The offline reconstruction of one run's shape and cost."""
+
+    run_id: str
+    schema: int
+    program: Optional[str]
+    mode: Optional[str]
+    approach: Optional[str]
+    n_events: int
+    #: seconds from the first to the last enveloped event
+    total: float
+    #: spans in start order (parents precede children)
+    phases: list[PhaseTiming]
+    metrics: Optional[dict]
+    finished: bool
+
+
+def summarize(replay: RunLogReplay) -> RunSummary:
+    """Fold a replay into a :class:`RunSummary`."""
+    started = replay.events.first("run-started")
+    phases = [
+        PhaseTiming(
+            name=event.name,
+            duration=event.duration,
+            depth=event.depth,
+            parent=event.parent,
+            started=event.started,
+        )
+        for event in replay.events.of_kind("span-closed")
+    ]
+    phases.sort(key=lambda p: p.started)
+    times = [row["t"] for row in replay.records]
+    return RunSummary(
+        run_id=replay.run_id,
+        schema=replay.schema,
+        program=getattr(started, "program", None),
+        mode=getattr(started, "mode", None),
+        approach=getattr(started, "approach", None),
+        n_events=len(replay.records),
+        total=(max(times) - min(times)) if times else 0.0,
+        phases=phases,
+        metrics=replay.metrics,
+        finished=replay.events.first("run-finished") is not None,
+    )
+
+
+def render_summary(summary: RunSummary, metrics: bool = True) -> str:
+    """The ``repro obs summary`` text block."""
+    lines = [
+        f"run      : {summary.run_id} (log schema {summary.schema}, "
+        f"{summary.n_events} events"
+        + ("" if summary.finished else ", UNFINISHED")
+        + ")",
+    ]
+    details = [
+        part
+        for part in (
+            f"program={summary.program}" if summary.program else None,
+            f"mode={summary.mode}" if summary.mode else None,
+            f"approach={summary.approach}" if summary.approach else None,
+        )
+        if part
+    ]
+    if details:
+        lines.append(f"spec     : {' '.join(details)}")
+    lines.append(f"duration : {summary.total:.3f}s (first to last event)")
+    if summary.phases:
+        lines.append("phases   :")
+        for phase in summary.phases:
+            share = (
+                f"{phase.duration / summary.total:6.1%}"
+                if summary.total > 0
+                else "   n/a"
+            )
+            indent = "  " * phase.depth
+            lines.append(
+                f"  {indent}{phase.name:<24.24} {phase.duration:9.3f}s {share}"
+            )
+    else:
+        lines.append("phases   : none recorded (log predates span tracing?)")
+    if metrics and summary.metrics is not None:
+        lines.append(render_snapshot(summary.metrics))
+    return "\n".join(lines)
+
+
+def render_compare(a: RunSummary, b: RunSummary) -> str:
+    """The ``repro obs compare`` table: phase-by-phase A vs B."""
+
+    def top_level(summary: RunSummary) -> dict[str, float]:
+        # Per-round child spans vary in count between runs; compare the
+        # stable top-level phases and total the rest under their parent.
+        return {p.name: p.duration for p in summary.phases if p.depth == 0}
+
+    phases_a, phases_b = top_level(a), top_level(b)
+    names = list(phases_a) + [n for n in phases_b if n not in phases_a]
+    lines = [
+        f"A: {a.run_id} ({a.total:.3f}s)",
+        f"B: {b.run_id} ({b.total:.3f}s)",
+        "",
+        f"  {'phase':<24} {'A':>10} {'B':>10} {'B/A':>7}",
+    ]
+    for name in names:
+        da, db = phases_a.get(name), phases_b.get(name)
+        cell_a = f"{da:9.3f}s" if da is not None else "        -"
+        cell_b = f"{db:9.3f}s" if db is not None else "        -"
+        ratio = f"{db / da:6.2f}x" if da and db is not None else "      -"
+        lines.append(f"  {name:<24} {cell_a:>10} {cell_b:>10} {ratio:>7}")
+    ratio = f"{b.total / a.total:6.2f}x" if a.total > 0 else "      -"
+    lines.append(
+        f"  {'TOTAL':<24} {a.total:9.3f}s {b.total:9.3f}s {ratio:>7}"
+    )
+    metrics_a = (a.metrics or {}).get("gauges", {})
+    metrics_b = (b.metrics or {}).get("gauges", {})
+    shared = [k for k in metrics_a if k in metrics_b]
+    diff = [k for k in shared if metrics_a[k] != metrics_b[k]]
+    if diff:
+        lines.append("")
+        lines.append("gauges that differ:")
+        for key in diff:
+            lines.append(f"  {key}: {metrics_a[key]} -> {metrics_b[key]}")
+    return "\n".join(lines)

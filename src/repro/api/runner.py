@@ -64,6 +64,7 @@ def run(
     if bus is None:
         bus = EventBus(list(observers))
     if obs is not None:
+        obs.header_extra.setdefault("spec_digest", spec.digest())
         obs.install(bus)
     mode = spec.mode
     engine = spec.engine.build(bus=bus)

@@ -64,6 +64,16 @@ class SpecError(ValueError):
         self.path = path
         self.detail = detail
 
+    def to_dict(self) -> dict:
+        """The structured error payload a service 4xx response carries
+        (``error`` is the stable discriminator; ``path`` is the dotted
+        spec location, empty for whole-document problems)."""
+        return {
+            "error": "invalid-spec",
+            "path": self.path,
+            "detail": self.detail,
+        }
+
 
 def _from_section(cls, raw: object, path: str):
     """Build a section dataclass from a dict, rejecting unknown keys."""
@@ -398,6 +408,16 @@ class RunSpec:
             for name, section_cls in _SECTIONS.items()
         }
         return cls(workload=workload, **sections)
+
+    def digest(self) -> str:
+        """sha256 of the spec's canonical JSON — the stable identity two
+        runs share exactly when they ran the same spec (the serve daemon
+        stamps it into run-log headers; the cross-run index groups by
+        it)."""
+        import hashlib
+
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()
 
     # -- JSON ------------------------------------------------------------
 

@@ -25,10 +25,19 @@ Commands
     pair.  ``debug --corpus DIR`` then debugs from the stored logs
     instead of re-running the collection sweep.  ``stats --json``
     emits a versioned machine-readable payload.
-``obs summary|compare|tail``
+``obs summary|compare|spans|index|tail``
     Inspect durable run telemetry: the schema-versioned JSONL run logs
     that ``run``/``debug``/``corpus analyze`` write under ``--log-dir``
-    (see :mod:`repro.obs`).
+    (see :mod:`repro.obs`), the ASCII span tree of one run, and the
+    cross-run ``index.json`` catalog.
+``serve [--host H] [--port P] [--log-dir DIR]``
+    The live telemetry daemon: ``POST /v1/runs`` accepts RunSpec JSON
+    and returns the versioned report, ``GET /v1/runs/{id}/events``
+    streams the run live as SSE/NDJSON, ``/healthz`` and ``/metrics``
+    expose service state (see :mod:`repro.serve`).
+``submit SPEC [--server URL] [--follow]``
+    The client half: POST a spec file to a running daemon and print the
+    report; ``--follow`` streams live progress to stderr first.
 
 Every subcommand that runs the pipeline builds a
 :class:`~repro.api.spec.RunSpec` internally and dispatches through
@@ -521,6 +530,40 @@ def _cmd_corpus_reshard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ReproServer
+
+    try:
+        server = ReproServer(
+            log_dir=args.log_dir,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        raise SystemExit(
+            f"repro: serve: cannot bind {args.host}:{args.port}: {exc}"
+        ) from exc
+    print(
+        f"repro serve: listening on {server.url} "
+        f"(run logs in {server.registry.log_dir})",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import submit
+
+    return submit(args.server, args.spec, follow=args.follow)
+
+
 def _cmd_corpus(args: argparse.Namespace) -> int:
     handlers = {
         "init": _cmd_corpus_init,
@@ -705,6 +748,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_obs_subcommand(sub)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the live telemetry daemon: HTTP run submission, SSE "
+        "event streaming, health/metrics endpoints",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port (default 8642; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--log-dir", default="runs", metavar="DIR",
+        help="where per-run JSONL logs and the cross-run index live "
+        "(default: runs)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log one stderr line per HTTP request",
+    )
+
+    submitp = sub.add_parser(
+        "submit",
+        help="POST a RunSpec file to a running `repro serve` daemon and "
+        "print the versioned report",
+    )
+    submitp.add_argument("spec", metavar="SPEC",
+                         help="path to a RunSpec .toml/.json file")
+    submitp.add_argument(
+        "--server", default="http://127.0.0.1:8642", metavar="URL",
+        help="daemon base URL (default http://127.0.0.1:8642)",
+    )
+    submitp.add_argument(
+        "--follow", action="store_true",
+        help="submit asynchronously and stream the run's event feed to "
+        "stderr while it executes (report still lands on stdout)",
+    )
+
     return parser
 
 
@@ -719,6 +802,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "corpus": _cmd_corpus,
     "obs": cmd_obs,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

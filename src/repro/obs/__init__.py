@@ -30,36 +30,56 @@ from dataclasses import dataclass
 from typing import Optional, TextIO
 
 from ..api.events import EventBus
+from .index import INDEX_SCHEMA_VERSION, IndexStats, RunIndex, render_index
 from .metrics import MetricsObserver, MetricsRegistry, render_snapshot
 from .progress import ProgressLine, describe_event
 from .runlog import (
     RUN_LOG_SCHEMA_VERSION,
+    JsonlCursor,
     JsonlRunLog,
     RunLogError,
     RunLogReplay,
     latest_run_log,
     read_run_log,
 )
-from .summary import RunSummary, render_compare, render_summary, summarize
+from .summary import (
+    SUMMARY_SCHEMA_VERSION,
+    RunSummary,
+    compare_dict,
+    render_compare,
+    render_span_tree,
+    render_summary,
+    summarize,
+    summary_dict,
+)
 
 __all__ = [
+    "INDEX_SCHEMA_VERSION",
     "RUN_LOG_SCHEMA_VERSION",
+    "SUMMARY_SCHEMA_VERSION",
+    "IndexStats",
+    "JsonlCursor",
     "JsonlRunLog",
     "MetricsObserver",
     "MetricsRegistry",
     "ObsContext",
     "ObsOptions",
     "ProgressLine",
+    "RunIndex",
     "RunLogError",
     "RunLogReplay",
     "RunSummary",
+    "compare_dict",
     "describe_event",
     "latest_run_log",
     "read_run_log",
     "render_compare",
+    "render_index",
     "render_snapshot",
+    "render_span_tree",
     "render_summary",
     "summarize",
+    "summary_dict",
 ]
 
 
@@ -97,6 +117,9 @@ class ObsContext:
     ) -> None:
         self.options = options if options is not None else ObsOptions()
         self.registry = MetricsRegistry()
+        #: extra fields for the run log's header line (e.g. the caller's
+        #: ``spec_digest`` — ``repro.api.run`` stamps it before install)
+        self.header_extra: dict = {}
         self.runlog: Optional[JsonlRunLog] = None
         self.run_id: Optional[str] = None
         self._stream = stream
@@ -112,7 +135,9 @@ class ObsContext:
         bus.subscribe(MetricsObserver(self.registry))
         if self.options.log_dir is not None:
             self.runlog = JsonlRunLog(
-                self.options.log_dir, metrics=self.final_snapshot
+                self.options.log_dir,
+                metrics=self.final_snapshot,
+                header=self.header_extra or None,
             )
             bus.subscribe(self.runlog)
             if self.options.profile:

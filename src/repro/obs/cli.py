@@ -10,10 +10,16 @@ observer-free).
 
 The ``repro obs`` subcommand inspects logs after the fact:
 
-* ``summary FILE|DIR`` — phase-timing breakdown + metrics of one run;
-* ``compare A B`` — two runs side by side;
+* ``summary FILE|DIR [--json]`` — phase-timing breakdown + metrics of
+  one run (``--json``: the versioned payload the cross-run index
+  stores);
+* ``compare A B [--json]`` — two runs side by side;
+* ``spans FILE|DIR`` — the span tree (name, duration, % of parent);
+* ``index DIR [--rebuild] [--json]`` — maintain/print the cross-run
+  ``index.json`` catalog (see :mod:`repro.obs.index`);
 * ``tail FILE|DIR [--follow]`` — the log as progress lines, optionally
-  following a live run until its ``run-finished`` lands.
+  following a live run until its ``run-finished`` lands (the same
+  cursor + rendering ``repro submit --follow`` streams over HTTP).
 """
 
 from __future__ import annotations
@@ -27,8 +33,16 @@ from pathlib import Path
 from typing import Optional, TextIO
 
 from . import ObsContext, ObsOptions
-from .runlog import RunLogError, latest_run_log, read_run_log
-from .summary import render_compare, render_summary, summarize
+from .index import RunIndex, render_index
+from .runlog import JsonlCursor, RunLogError, latest_run_log, read_run_log
+from .summary import (
+    compare_dict,
+    render_compare,
+    render_span_tree,
+    render_summary,
+    summarize,
+    summary_dict,
+)
 
 
 def add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -82,6 +96,22 @@ def resolve_run_log(target: str) -> Path:
     return path
 
 
+def render_log_row(row: dict) -> str:
+    """One parsed run-log row as the human progress line.
+
+    The single rendering shared by ``repro obs tail`` (local file) and
+    ``repro submit --follow`` (the daemon's NDJSON event stream) — both
+    feeds carry the same rows, so they read identically.
+    """
+    if "seq" not in row:
+        kind = "header" if "schema" in row else row.get("kind")
+        return f"[{kind}] {json.dumps(row, sort_keys=True)}"
+    return (
+        f"[{row['t']:8.3f}s] #{row['seq']:<3} {row['kind']:<18} "
+        f"{json.dumps(row['data'], sort_keys=True)}"
+    )
+
+
 def tail_run_log(
     path: Path,
     follow: bool = False,
@@ -90,36 +120,22 @@ def tail_run_log(
     timeout: Optional[float] = None,
 ) -> int:
     """Print a run log line by line; with ``follow``, poll for new lines
-    until ``run-finished`` (or ``timeout`` seconds pass)."""
+    until ``run-finished`` (or ``timeout`` seconds pass).
+
+    Built on :class:`~repro.obs.runlog.JsonlCursor`, so following works
+    against the flushed-per-line JSONL of a *live* run — including one
+    whose log file has not been created yet (``--follow`` simply waits
+    for the writer's first line).
+    """
     out = stream if stream is not None else sys.stdout
+    if not follow and not path.exists():
+        raise RunLogError(f"no run log at {path}")
     deadline = time.monotonic() + timeout if timeout is not None else None
-    position = 0
-    buffered = ""
+    cursor = JsonlCursor(path)
     while True:
-        with path.open() as handle:
-            handle.seek(position)
-            chunk = handle.read()
-            position = handle.tell()
-        buffered += chunk
-        finished = False
-        # Only complete lines are parseable — a writer may be mid-line.
-        while "\n" in buffered:
-            line, buffered = buffered.split("\n", 1)
-            if not line.strip():
-                continue
-            row = json.loads(line)
-            if "seq" not in row:
-                kind = "header" if "schema" in row else row.get("kind")
-                print(f"[{kind}] {json.dumps(row, sort_keys=True)}", file=out)
-                continue
-            print(
-                f"[{row['t']:8.3f}s] #{row['seq']:<3} {row['kind']:<18} "
-                f"{json.dumps(row['data'], sort_keys=True)}",
-                file=out,
-            )
-            if row["kind"] == "run-finished":
-                finished = True
-        if finished or not follow:
+        for _, row in cursor.poll():
+            print(render_log_row(row), file=out)
+        if cursor.finished or not follow:
             return 0
         if deadline is not None and time.monotonic() >= deadline:
             return 1
@@ -141,17 +157,38 @@ def cmd_obs(args: argparse.Namespace) -> int:
 def _cmd_obs(args: argparse.Namespace) -> int:
     try:
         if args.obs_command == "summary":
-            replay = read_run_log(resolve_run_log(args.run))
-            print(
-                render_summary(
-                    summarize(replay), metrics=not args.no_metrics
-                )
-            )
+            summary = summarize(read_run_log(resolve_run_log(args.run)))
+            if args.json:
+                print(json.dumps(summary_dict(summary), indent=2,
+                                 sort_keys=True))
+            else:
+                print(render_summary(summary, metrics=not args.no_metrics))
             return 0
         if args.obs_command == "compare":
             first = summarize(read_run_log(resolve_run_log(args.run_a)))
             second = summarize(read_run_log(resolve_run_log(args.run_b)))
-            print(render_compare(first, second))
+            if args.json:
+                print(json.dumps(compare_dict(first, second), indent=2,
+                                 sort_keys=True))
+            else:
+                print(render_compare(first, second))
+            return 0
+        if args.obs_command == "spans":
+            summary = summarize(read_run_log(resolve_run_log(args.run)))
+            print(render_span_tree(summary))
+            return 0
+        if args.obs_command == "index":
+            index = RunIndex(args.dir)
+            stats = index.rebuild() if args.rebuild else index.refresh()
+            if args.json:
+                print(json.dumps(index.to_dict(), indent=2, sort_keys=True))
+            else:
+                print(render_index(index))
+                print(
+                    f"  ({stats.added} added, {stats.updated} updated, "
+                    f"{stats.removed} removed, {stats.unchanged} unchanged "
+                    f"-> {index.path})"
+                )
             return 0
         if args.obs_command == "tail":
             return tail_run_log(
@@ -184,12 +221,46 @@ def add_obs_subcommand(sub: argparse._SubParsersAction) -> None:
         "--no-metrics", action="store_true",
         help="omit the metrics snapshot block",
     )
+    osummary.add_argument(
+        "--json", action="store_true",
+        help="print the versioned summary payload (the same record the "
+        "cross-run index stores) instead of text",
+    )
 
     ocompare = osub.add_parser(
         "compare", help="two logged runs side by side, phase by phase"
     )
     ocompare.add_argument("run_a", help="baseline run log (file or dir)")
     ocompare.add_argument("run_b", help="candidate run log (file or dir)")
+    ocompare.add_argument(
+        "--json", action="store_true",
+        help="print the versioned comparison payload instead of text",
+    )
+
+    ospans = osub.add_parser(
+        "spans",
+        help="render the span tree of one run: name, duration, share "
+        "of parent",
+    )
+    ospans.add_argument(
+        "run",
+        help="a runs/<run_id>.jsonl file, or a log dir (newest run wins)",
+    )
+
+    oindex = osub.add_parser(
+        "index",
+        help="maintain the cross-run index.json catalog over a log dir "
+        "(incremental: only new/changed logs are re-read)",
+    )
+    oindex.add_argument("dir", help="the log directory to index")
+    oindex.add_argument(
+        "--rebuild", action="store_true",
+        help="drop the existing index and re-summarize every log",
+    )
+    oindex.add_argument(
+        "--json", action="store_true",
+        help="print the full index payload instead of the table",
+    )
 
     otail = osub.add_parser(
         "tail", help="print a run log as progress lines"

@@ -1,0 +1,198 @@
+"""The cross-run index: every JSONL run log folded into one catalog.
+
+Role
+----
+A log directory accumulates one ``<run_id>.jsonl`` per run.  Answering
+"what ran here, how long did each phase take, which runs share a spec"
+by re-reading every log on every question does not scale to a
+long-running service, so :class:`RunIndex` maintains
+``<log_dir>/index.json``: one :func:`~repro.obs.summary.summary_dict`
+record per run (the same versioned payload ``repro obs summary --json``
+prints) plus the source file's name/size/mtime.
+
+:meth:`RunIndex.refresh` is **incremental and idempotent**: a log whose
+``(size, mtime)`` matches its indexed record is skipped, a changed or
+new log is re-summarized, and records whose log vanished are dropped —
+so refreshing twice in a row is a no-op and a full rebuild
+(:meth:`RunIndex.rebuild`) produces byte-identical ``index.json``
+content.  Unreadable or foreign ``.jsonl`` files are catalogued as
+``outcome: "unreadable"`` rather than failing the whole index — one
+corrupt log must not blind the service to the healthy ones.
+
+The serve daemon folds this catalog into ``GET /v1/runs`` (merged with
+its in-memory live runs) and ``GET /v1/runs/{run_id}``; the CLI twin is
+``repro obs index DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from .runlog import RunLogError, read_run_log
+from .summary import SUMMARY_SCHEMA_VERSION, summarize, summary_dict
+
+#: bump on any backwards-incompatible change to index.json's shape
+INDEX_SCHEMA_VERSION = 1
+
+INDEX_FILENAME = "index.json"
+
+
+@dataclass
+class IndexStats:
+    """What one :meth:`RunIndex.refresh` did."""
+
+    added: int = 0
+    updated: int = 0
+    removed: int = 0
+    unchanged: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.added or self.updated or self.removed)
+
+
+class RunIndex:
+    """The queryable catalog over a directory of JSONL run logs.
+
+    ``entries`` maps ``run_id`` to a record::
+
+        {**summary_dict(run), "file": name, "size": int, "mtime": float}
+
+    Records are keyed by run id; two log files claiming the same run id
+    resolve to the newer file (mtime), which cannot happen with
+    :class:`~repro.obs.runlog.JsonlRunLog`-written logs but keeps hand-
+    copied directories deterministic.
+    """
+
+    def __init__(self, log_dir) -> None:
+        self.dir = Path(log_dir)
+        self.path = self.dir / INDEX_FILENAME
+        self.entries: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            isinstance(payload, dict)
+            and payload.get("schema") == INDEX_SCHEMA_VERSION
+            and isinstance(payload.get("runs"), dict)
+        ):
+            self.entries = payload["runs"]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": INDEX_SCHEMA_VERSION,
+            "summary_schema": SUMMARY_SCHEMA_VERSION,
+            "runs": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+
+    def save(self) -> None:
+        self.path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    def refresh(self, save: bool = True) -> IndexStats:
+        """Fold new/changed logs in, drop records of deleted logs."""
+        stats = IndexStats()
+        by_file = {
+            entry["file"]: (run_id, entry)
+            for run_id, entry in self.entries.items()
+        }
+        seen_files = set()
+        for path in sorted(self.dir.glob("*.jsonl")):
+            seen_files.add(path.name)
+            stat = path.stat()
+            known = by_file.get(path.name)
+            if (
+                known is not None
+                and known[1].get("size") == stat.st_size
+                and known[1].get("mtime") == stat.st_mtime
+            ):
+                stats.unchanged += 1
+                continue
+            entry = self._index_one(path, stat)
+            run_id = entry["run_id"]
+            previous = self.entries.get(run_id)
+            if previous is not None and previous.get("file") != path.name:
+                # duplicate run id across files: newer mtime wins
+                other = self.dir / previous["file"]
+                if other.exists() and other.stat().st_mtime > stat.st_mtime:
+                    continue
+            if known is not None or previous is not None:
+                stats.updated += 1
+            else:
+                stats.added += 1
+            self.entries[run_id] = entry
+        for run_id in [
+            rid
+            for rid, entry in self.entries.items()
+            if entry["file"] not in seen_files
+        ]:
+            del self.entries[run_id]
+            stats.removed += 1
+        if save and stats.changed:
+            self.save()
+        return stats
+
+    def rebuild(self, save: bool = True) -> IndexStats:
+        """Drop every record and re-summarize from scratch; produces
+        the same ``index.json`` as any refresh sequence (asserted in
+        tests — the idempotency contract)."""
+        self.entries = {}
+        return self.refresh(save=save)
+
+    def _index_one(self, path: Path, stat) -> dict:
+        try:
+            record = summary_dict(summarize(read_run_log(path)))
+        except (RunLogError, OSError) as exc:
+            record = {
+                "schema": SUMMARY_SCHEMA_VERSION,
+                "run_id": path.stem,
+                "outcome": "unreadable",
+                "error": str(exc),
+            }
+        record["file"] = path.name
+        record["size"] = stat.st_size
+        record["mtime"] = stat.st_mtime
+        return record
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, run_id: str) -> Optional[dict]:
+        return self.entries.get(run_id)
+
+    def rows(self) -> list[dict]:
+        """Every record, newest first (created, then run id)."""
+        return sorted(
+            self.entries.values(),
+            key=lambda e: (-(e.get("created") or 0), e.get("run_id", "")),
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def render_index(index: RunIndex) -> str:
+    """The ``repro obs index`` text table."""
+    lines = [
+        f"{index.dir}: {len(index)} indexed run(s)",
+        f"  {'run_id':<24} {'program':<12} {'mode':<12} "
+        f"{'total':>9} {'events':>7}  outcome",
+    ]
+    for entry in index.rows():
+        total = entry.get("total")
+        lines.append(
+            f"  {entry.get('run_id', '?'):<24} "
+            f"{(entry.get('program') or '-'):<12} "
+            f"{(entry.get('mode') or '-'):<12} "
+            f"{(f'{total:.3f}s' if total is not None else '-'):>9} "
+            f"{(entry.get('n_events') if entry.get('n_events') is not None else '-'):>7}  "
+            f"{entry.get('outcome', '?')}"
+        )
+    return "\n".join(lines)

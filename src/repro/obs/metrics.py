@@ -69,6 +69,20 @@ class MetricsRegistry:
         """Polled once per :meth:`snapshot`, merged into the gauges."""
         self._providers.append(provider)
 
+    def merge_snapshot(self, snapshot: Mapping) -> None:
+        """Fold another registry's :meth:`snapshot` into this one —
+        counters and timers accumulate, gauges last-write-win.  The
+        serve daemon aggregates every finished run's snapshot into one
+        fleet registry this way for its ``/metrics`` endpoint."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.count(name, value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name, value)
+        for name, cell in (snapshot.get("timers") or {}).items():
+            entry = self._timers.setdefault(name, [0, 0.0])
+            entry[0] += cell.get("count", 0)
+            entry[1] += cell.get("total", 0.0)
+
     def snapshot(self) -> dict:
         """The registry as one sorted, JSON-able dict."""
         gauges = dict(self._gauges)

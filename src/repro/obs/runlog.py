@@ -98,14 +98,24 @@ class JsonlRunLog:
     ``run-finished`` line lands (:class:`repro.obs.ObsContext` wires
     the registry's cached snapshot in here so the log and the report
     carry the same numbers).
+
+    ``header`` merges extra keys into the header line — the serve
+    daemon stamps the submitted spec's digest there so the cross-run
+    index (:mod:`repro.obs.index`) can group runs by spec without the
+    log carrying the whole spec.  Reserved keys (``schema``/``run_id``/
+    ``created``) cannot be overridden.
     """
 
     def __init__(
-        self, log_dir, metrics: Optional[callable] = None
+        self,
+        log_dir,
+        metrics: Optional[callable] = None,
+        header: Optional[dict] = None,
     ) -> None:
         self.dir = Path(log_dir)
         self.dir.mkdir(parents=True, exist_ok=True)
         self._metrics = metrics
+        self._header_extra = dict(header or {})
         self._handle = None
         self.path: Optional[Path] = None
 
@@ -115,6 +125,7 @@ class JsonlRunLog:
             self._handle = self.path.open("w")
             self._write(
                 {
+                    **self._header_extra,
                     "schema": RUN_LOG_SCHEMA_VERSION,
                     "run_id": envelope.run_id,
                     "created": envelope.wall,
@@ -161,6 +172,8 @@ class RunLogReplay:
     events: EventLog
     #: the trailing metrics snapshot, if the run wrote one
     metrics: Optional[dict]
+    #: the raw header line (carries writer extras like ``spec_digest``)
+    header: dict = dataclasses.field(default_factory=dict)
 
 
 def read_run_log(path) -> RunLogReplay:
@@ -208,7 +221,62 @@ def read_run_log(path) -> RunLogReplay:
         records=records,
         events=events,
         metrics=metrics,
+        header=header,
     )
+
+
+class JsonlCursor:
+    """Incremental reader over a live, line-flushed JSONL file.
+
+    Every pipeline writer flushes whole lines (:class:`JsonlRunLog`
+    invariant), so polling the file and splitting on newlines yields
+    only complete JSON objects — a writer caught mid-line stays
+    buffered until its newline lands.  One cursor backs every follower:
+    ``repro obs tail --follow``, the serve daemon's SSE/NDJSON event
+    stream, and replay-from-seq reconnects.
+
+    ``from_seq`` skips rows whose envelope ``seq`` is ≤ the given value
+    *and* the header line (a reconnecting client already holds both);
+    seq-less trailing rows (the metrics line) always pass, since they
+    only appear after the last event a dropped connection could have
+    delivered.
+    """
+
+    def __init__(self, path, from_seq: int = 0) -> None:
+        self.path = Path(path)
+        self.from_seq = from_seq
+        self._position = 0
+        self._buffer = ""
+        #: True once a ``run-finished`` row has been returned
+        self.finished = False
+
+    def poll(self) -> list[tuple[str, dict]]:
+        """Every complete ``(raw_line, parsed_row)`` appended since the
+        last poll, filtered by ``from_seq``.  A missing file is simply
+        "no new lines yet" — the writer may not have started."""
+        try:
+            with self.path.open() as handle:
+                handle.seek(self._position)
+                chunk = handle.read()
+                self._position = handle.tell()
+        except FileNotFoundError:
+            return []
+        self._buffer += chunk
+        rows: list[tuple[str, dict]] = []
+        while "\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\n", 1)
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if "seq" in row:
+                if row["seq"] <= self.from_seq:
+                    continue
+                if row.get("kind") == "run-finished":
+                    self.finished = True
+            elif "schema" in row and self.from_seq > 0:
+                continue  # header: the reconnecting client has it
+            rows.append((line, row))
+        return rows
 
 
 def latest_run_log(log_dir) -> Path:

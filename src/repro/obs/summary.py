@@ -6,7 +6,14 @@ finished (or crashed) on another machine is fully explainable from its
 ``runs/<run_id>.jsonl`` alone.  ``repro obs summary`` renders one run,
 ``repro obs compare`` sets two side by side (the tool the BENCH_eval
 parallel-discovery regression needed: *which phase* ate the
-wall-clock).
+wall-clock), and ``repro obs spans`` renders the span tree.
+
+:func:`summary_dict` / :func:`compare_dict` are the machine-readable
+twins (``--json``), versioned by :data:`SUMMARY_SCHEMA_VERSION`; the
+per-run dict is **the same payload** the cross-run index
+(:mod:`repro.obs.index`) stores per run and the serve daemon returns
+from ``GET /v1/runs/{run_id}`` — one summarizer feeds the CLI, the
+index, and the service.
 """
 
 from __future__ import annotations
@@ -16,6 +23,9 @@ from typing import Optional
 
 from .metrics import render_snapshot
 from .runlog import RunLogReplay
+
+#: bump on any backwards-incompatible change to summary_dict's shape
+SUMMARY_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -45,6 +55,11 @@ class RunSummary:
     phases: list[PhaseTiming]
     metrics: Optional[dict]
     finished: bool
+    #: sha256 of the submitted spec's canonical JSON, when the log
+    #: writer stamped one into the header (the serve daemon does)
+    spec_digest: Optional[str] = None
+    #: unix time the log's first line was written
+    created: Optional[float] = None
 
 
 def summarize(replay: RunLogReplay) -> RunSummary:
@@ -73,7 +88,120 @@ def summarize(replay: RunLogReplay) -> RunSummary:
         phases=phases,
         metrics=replay.metrics,
         finished=replay.events.first("run-finished") is not None,
+        spec_digest=replay.header.get("spec_digest"),
+        created=replay.created,
     )
+
+
+def summary_dict(summary: RunSummary) -> dict:
+    """A :class:`RunSummary` as the versioned, JSON-able payload.
+
+    This is the exact per-run record :class:`repro.obs.index.RunIndex`
+    stores and ``repro obs summary --json`` prints.  ``durations`` maps
+    each top-level phase to its seconds (the stable comparison keys);
+    ``outcome`` is ``"finished"`` or ``"unfinished"``.
+    """
+    return {
+        "schema": SUMMARY_SCHEMA_VERSION,
+        "run_id": summary.run_id,
+        "run_log_schema": summary.schema,
+        "spec_digest": summary.spec_digest,
+        "program": summary.program,
+        "mode": summary.mode,
+        "approach": summary.approach,
+        "created": summary.created,
+        "n_events": summary.n_events,
+        "total": round(summary.total, 6),
+        "outcome": "finished" if summary.finished else "unfinished",
+        "durations": {
+            p.name: round(p.duration, 6)
+            for p in summary.phases
+            if p.depth == 0
+        },
+        "phases": [
+            {
+                "name": p.name,
+                "duration": round(p.duration, 6),
+                "depth": p.depth,
+                "parent": p.parent,
+                "started": round(p.started, 6),
+            }
+            for p in summary.phases
+        ],
+        "metrics": summary.metrics,
+    }
+
+
+def compare_dict(a: RunSummary, b: RunSummary) -> dict:
+    """Two runs side by side as a versioned payload (``compare --json``)."""
+    durations_a = summary_dict(a)["durations"]
+    durations_b = summary_dict(b)["durations"]
+    names = list(durations_a) + [
+        n for n in durations_b if n not in durations_a
+    ]
+    gauges_a = (a.metrics or {}).get("gauges", {})
+    gauges_b = (b.metrics or {}).get("gauges", {})
+    return {
+        "schema": SUMMARY_SCHEMA_VERSION,
+        "a": summary_dict(a),
+        "b": summary_dict(b),
+        "phases": [
+            {
+                "name": name,
+                "a": durations_a.get(name),
+                "b": durations_b.get(name),
+                "ratio": (
+                    round(durations_b[name] / durations_a[name], 6)
+                    if durations_a.get(name) and name in durations_b
+                    else None
+                ),
+            }
+            for name in names
+        ],
+        "total_ratio": (
+            round(b.total / a.total, 6) if a.total > 0 else None
+        ),
+        "gauges_differ": {
+            key: [gauges_a[key], gauges_b[key]]
+            for key in sorted(gauges_a)
+            if key in gauges_b and gauges_a[key] != gauges_b[key]
+        },
+    }
+
+
+def render_span_tree(summary: RunSummary) -> str:
+    """The ``repro obs spans`` ASCII tree: every closed span with its
+    duration and share of its parent (top-level spans: share of the
+    run's first-to-last-event total).
+
+    Phases arrive in start order with parents preceding children
+    (:func:`summarize` sorts by ``started``), so a depth-indexed stack
+    of durations recovers the nesting without span ids.
+    """
+    if not summary.phases:
+        return "(no spans recorded — log predates span tracing?)"
+    width = max(
+        2 * p.depth + len(p.name) for p in summary.phases
+    )
+    lines = [f"{summary.run_id}: {summary.total:.3f}s total"]
+    #: duration of the open span at each depth (parents precede children)
+    open_at_depth: list[float] = []
+    for phase in summary.phases:
+        del open_at_depth[phase.depth:]
+        parent_duration = (
+            open_at_depth[phase.depth - 1]
+            if 0 < phase.depth <= len(open_at_depth)
+            else summary.total
+        )
+        share = (
+            f"{phase.duration / parent_duration:6.1%}"
+            if parent_duration > 0
+            else "   n/a"
+        )
+        label = "  " * phase.depth + phase.name
+        lines.append(f"  {label:<{width}} {phase.duration:9.3f}s {share}")
+        open_at_depth.append(phase.duration)
+    return "\n".join(lines)
 
 
 def render_summary(summary: RunSummary, metrics: bool = True) -> str:

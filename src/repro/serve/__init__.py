@@ -1,0 +1,44 @@
+"""repro.serve — the live telemetry service over the declarative API.
+
+Role
+----
+The service split the ROADMAP asks for: a long-running, stdlib-only
+HTTP daemon that accepts :class:`~repro.api.spec.RunSpec` bodies,
+executes them on worker threads with full durable telemetry attached
+(:class:`~repro.obs.JsonlRunLog` + :class:`~repro.obs.MetricsObserver`
+per run), streams each run's enveloped event feed live over SSE/NDJSON
+with replay-from-seq reconnects, and answers cross-run questions from
+the :class:`~repro.obs.RunIndex` catalog — observability as the
+service's first-class surface, not a bolt-on.
+
+Pieces
+------
+* :class:`ReproServer` — the :class:`~http.server.ThreadingHTTPServer`
+  daemon (``repro serve``);
+* :class:`RunRegistry` / :class:`RunRecord` — run lifecycle, worker
+  threads, the fleet metrics fold, and history queries;
+* :mod:`~repro.serve.handlers` — the endpoint catalogue and error
+  shapes;
+* :mod:`~repro.serve.sse` — the event-stream pump over the run log;
+* :func:`submit` — the ``repro submit`` client.
+
+Invariant: the service never changes results.  ``POST /v1/runs``
+returns a report byte-identical to ``repro run SPEC --json`` for the
+same spec, and a replay of the event stream equals
+:func:`~repro.obs.read_run_log` of the server-side JSONL (both asserted
+in tests and the serve-smoke CI job).
+"""
+
+from __future__ import annotations
+
+from .client import SubmitError, submit
+from .registry import RunRecord, RunRegistry
+from .server import ReproServer
+
+__all__ = [
+    "ReproServer",
+    "RunRecord",
+    "RunRegistry",
+    "SubmitError",
+    "submit",
+]

@@ -1,0 +1,323 @@
+"""HTTP request handling for the serve daemon: routes and renderings.
+
+Role
+----
+:class:`ReproRequestHandler` is the one
+:class:`~http.server.BaseHTTPRequestHandler` behind every endpoint:
+
+====================================  ====================================
+``POST /v1/runs``                     submit a RunSpec JSON body; blocks
+                                      and returns the versioned report
+                                      (``?wait=0``: 202 + links
+                                      immediately)
+``GET /v1/runs``                      the cross-run catalog (index rows
+                                      overlaid with live status)
+``GET /v1/runs/{id}``                 one run's detail: summary record,
+                                      live status, ASCII span tree
+``GET /v1/runs/{id}/events``          the event stream — NDJSON by
+                                      default, SSE with
+                                      ``Accept: text/event-stream`` or
+                                      ``?format=sse``; ``?from_seq=N`` /
+                                      ``Last-Event-ID`` replays from a
+                                      sequence number; ``?follow=0``
+                                      dumps-and-closes
+``GET /v1/runs/{id}/report``          the stored report payload, bytes
+                                      identical to the ``POST`` response
+``GET /healthz``                      liveness + run counts
+``GET /metrics``                      text exposition: process gauges +
+                                      the aggregated fleet registry
+====================================  ====================================
+
+Error shape: every non-2xx body is a JSON object with a stable
+``error`` discriminator — malformed specs surface
+:meth:`repro.api.spec.SpecError.to_dict` (``invalid-spec`` + dotted
+path + detail) as a 400, unknown run ids are
+``{"error": "not-found"}`` 404s, and a failed run's report request is a
+``{"error": "run-failed"}`` 500 carrying the worker's exception text.
+
+The handler threads are the concurrency model: ThreadingHTTPServer
+gives each connection its own thread, so long-lived event streams
+coexist with submissions; blocking POSTs execute on the registry's
+worker thread and merely join it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from ..api.spec import SpecError
+from .sse import stream_run_log
+
+API_VERSION = 1
+
+
+def render_exposition(server) -> str:
+    """The ``/metrics`` text format: one ``name{labels} value`` line per
+    metric — process gauges first, then the aggregated per-run registry
+    (counters summed, timers summed across every finished run)."""
+    registry = server.registry
+    lines = [
+        "# repro.serve text exposition",
+        f"repro_uptime_seconds {time.time() - registry.started:.3f}",
+    ]
+    counts = registry.counts()
+    for name, value in sorted(counts.items()):
+        lines.append(f'repro_runs{{status="{name}"}} {value}')
+    lines.append(f"repro_indexed_runs {len(registry.index)}")
+    for name, value in sorted(server.http_counters.items()):
+        lines.append(f'repro_http_requests_total{{route="{name}"}} {value}')
+    snapshot = registry.fleet.snapshot()
+    for name, value in snapshot["counters"].items():
+        lines.append(f'repro_run_counter{{name="{name}"}} {value}')
+    for name, value in snapshot["gauges"].items():
+        lines.append(f'repro_run_gauge{{name="{name}"}} {value}')
+    for name, cell in snapshot["timers"].items():
+        lines.append(
+            f'repro_run_timer_seconds_total{{name="{name}"}} {cell["total"]}'
+        )
+        lines.append(
+            f'repro_run_timer_count{{name="{name}"}} {cell["count"]}'
+        )
+    return "\n".join(lines) + "\n"
+
+
+class ReproRequestHandler(BaseHTTPRequestHandler):
+    """Routes one connection; ``self.server`` is the ReproServer."""
+
+    server_version = "repro-serve/1"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            print(
+                f"[serve] {self.address_string()} {format % args}",
+                file=sys.stderr,
+            )
+
+    def _send_json(self, status: int, payload: object) -> None:
+        body = (
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        ).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain"
+    ) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", f"{content_type}; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, error: str, **extra) -> None:
+        self._send_json(status, {"error": error, **extra})
+
+    def _count(self, route: str) -> None:
+        with self.server.lock:
+            counters = self.server.http_counters
+            counters[route] = counters.get(route, 0) + 1
+
+    # -- dispatch --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if url.path == "/healthz":
+                self._count("/healthz")
+                return self._healthz()
+            if url.path == "/metrics":
+                self._count("/metrics")
+                return self._metrics()
+            if parts[:2] == ["v1", "runs"]:
+                if len(parts) == 2:
+                    self._count("/v1/runs")
+                    return self._list_runs()
+                run_id = parts[2]
+                if len(parts) == 3:
+                    self._count("/v1/runs/{id}")
+                    return self._run_detail(run_id)
+                if len(parts) == 4 and parts[3] == "events":
+                    self._count("/v1/runs/{id}/events")
+                    return self._run_events(run_id, query)
+                if len(parts) == 4 and parts[3] == "report":
+                    self._count("/v1/runs/{id}/report")
+                    return self._run_report(run_id)
+            self._error(404, "not-found", path=url.path)
+        except BrokenPipeError:
+            pass  # client went away mid-stream; nothing to clean up
+        except ConnectionResetError:
+            pass
+        except Exception as exc:  # noqa: BLE001 - a daemon must answer
+            self._internal_error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        query = parse_qs(url.query)
+        try:
+            if url.path == "/v1/runs":
+                self._count("POST /v1/runs")
+                return self._submit(query)
+            self._error(404, "not-found", path=url.path)
+        except BrokenPipeError:
+            pass
+        except ConnectionResetError:
+            pass
+        except Exception as exc:  # noqa: BLE001 - a daemon must answer
+            self._internal_error(exc)
+
+    def _internal_error(self, exc: Exception) -> None:
+        """Last-resort 500: an unexpected handler crash must still send
+        a structured response, never silently drop the connection."""
+        import traceback
+
+        print(
+            f"repro serve: unhandled error on {self.command} {self.path}: "
+            f"{exc!r}",
+            file=sys.stderr,
+        )
+        if self.server.verbose:
+            traceback.print_exc(file=sys.stderr)
+        try:
+            self._error(
+                500, "internal", detail=f"{type(exc).__name__}: {exc}"
+            )
+        except OSError:
+            pass  # response channel already gone
+
+    # -- endpoints -------------------------------------------------------
+
+    def _submit(self, query: dict) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length)
+        registry = self.server.registry
+        try:
+            spec = registry.parse_spec(body)
+        except SpecError as exc:
+            return self._send_json(400, exc.to_dict())
+        record = registry.submit(spec)
+        links = {
+            "self": f"/v1/runs/{record.run_id}",
+            "events": f"/v1/runs/{record.run_id}/events",
+            "report": f"/v1/runs/{record.run_id}/report",
+        }
+        if query.get("wait", ["1"])[0] in ("0", "false", "no"):
+            return self._send_json(
+                202,
+                {
+                    "run_id": record.run_id,
+                    "status": record.status,
+                    "spec_digest": record.spec_digest,
+                    "links": links,
+                },
+            )
+        registry.wait(record)
+        if record.status == "failed":
+            return self._error(
+                500, "run-failed", run_id=record.run_id, detail=record.error
+            )
+        # The report payload, serialized exactly as `repro run --json`
+        # prints it — byte-identity is the contract (asserted in tests
+        # and the serve-smoke CI job).
+        self._send_json(200, record.report)
+
+    def _list_runs(self) -> None:
+        self._send_json(
+            200,
+            {
+                "api": API_VERSION,
+                "runs": self.server.registry.catalog(),
+            },
+        )
+
+    def _run_detail(self, run_id: str) -> None:
+        detail = self.server.registry.detail(run_id)
+        if detail is None:
+            return self._error(404, "not-found", run_id=run_id)
+        self._send_json(200, detail)
+
+    def _run_report(self, run_id: str) -> None:
+        registry = self.server.registry
+        record = registry.get(run_id)
+        if record is not None and record.active:
+            registry.wait(record)
+        if record is not None and record.status == "failed":
+            return self._error(
+                500, "run-failed", run_id=run_id, detail=record.error
+            )
+        report = registry.report_for(run_id)
+        if report is None:
+            return self._error(404, "not-found", run_id=run_id)
+        self._send_json(200, report)
+
+    def _run_events(self, run_id: str, query: dict) -> None:
+        registry = self.server.registry
+        record = registry.get(run_id)
+        log_path = registry.log_dir / f"{run_id}.jsonl"
+        if record is None and not log_path.exists():
+            return self._error(404, "not-found", run_id=run_id)
+        sse = query.get("format", [""])[0] == "sse" or (
+            "text/event-stream" in (self.headers.get("Accept") or "")
+        )
+        from_seq = _int_param(
+            query, "from_seq", self.headers.get("Last-Event-ID")
+        )
+        follow = query.get("follow", ["1"])[0] not in ("0", "false", "no")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type",
+            "text/event-stream" if sse else "application/x-ndjson",
+        )
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+
+        def write(frame: bytes) -> None:
+            self.wfile.write(frame)
+            self.wfile.flush()
+
+        stream_run_log(
+            log_path,
+            write,
+            is_active=(
+                (lambda: registry.is_active(run_id)) if follow
+                else (lambda: False)
+            ),
+            sse=sse,
+            from_seq=from_seq,
+        )
+
+    def _healthz(self) -> None:
+        registry = self.server.registry
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "api": API_VERSION,
+                "uptime": round(time.time() - registry.started, 3),
+                "log_dir": str(registry.log_dir),
+                "runs": registry.counts(),
+            },
+        )
+
+    def _metrics(self) -> None:
+        self._send_text(200, render_exposition(self.server))
+
+
+def _int_param(query: dict, name: str, fallback: Optional[str]) -> int:
+    raw = query.get(name, [fallback])[0]
+    try:
+        return int(raw) if raw else 0
+    except (TypeError, ValueError):
+        return 0

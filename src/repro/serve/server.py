@@ -1,0 +1,79 @@
+"""The serve daemon: a threaded stdlib HTTP server around the registry.
+
+Role
+----
+:class:`ReproServer` composes the pieces — a
+:class:`~repro.serve.registry.RunRegistry` (worker threads + JSONL run
+logs + cross-run index) behind a
+:class:`~http.server.ThreadingHTTPServer` routing through
+:class:`~repro.serve.handlers.ReproRequestHandler` — into the
+long-running ``repro serve`` process.  Nothing here imports beyond the
+standard library plus :mod:`repro` itself: the daemon runs wherever the
+CLI runs.
+
+Lifecycle::
+
+    server = ReproServer(log_dir="runs", port=0)   # port 0: ephemeral
+    server.start()          # background thread (tests, embedding)
+    ...
+    server.shutdown()
+
+or, blocking (the CLI path)::
+
+    ReproServer(log_dir="runs", port=8642).serve_forever()
+
+Every connection gets its own handler thread (daemon threads, so a
+dying process never hangs on an open event stream), and each submitted
+run gets its own worker thread; the registry's lock is the only shared
+mutable state.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import ThreadingHTTPServer
+
+from .handlers import ReproRequestHandler
+from .registry import RunRegistry
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The ``repro serve`` HTTP daemon (see module docstring)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        log_dir: str = "runs",
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        verbose: bool = False,
+    ) -> None:
+        self.registry = RunRegistry(log_dir)
+        self.verbose = verbose
+        self.lock = threading.Lock()
+        #: route -> request count, for the /metrics exposition
+        self.http_counters: dict[str, int] = {}
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), ReproRequestHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ReproServer":
+        """Serve on a background thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.server_close()

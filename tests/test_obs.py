@@ -502,6 +502,62 @@ class TestObsCli:
         out = capsys.readouterr().out
         assert "[header]" in out and "run-finished" in out
 
+    def test_summary_json_is_the_versioned_dict(self, cli_log_dir, capsys):
+        newest = latest_run_log(cli_log_dir)
+        assert main(["obs", "summary", str(newest), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["run_id"] == newest.stem
+        assert payload["outcome"] == "finished"
+        assert payload["spec_digest"]
+        assert set(payload["durations"]) >= {"collection", "interventions"}
+        assert payload["total"] > 0
+
+    def test_compare_json_pairs_the_same_dicts(self, cli_log_dir, capsys):
+        logs = sorted(cli_log_dir.glob("*.jsonl"))
+        assert main([
+            "obs", "compare", str(logs[0]), str(logs[1]), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["a"]["run_id"] == logs[0].stem
+        assert payload["b"]["run_id"] == logs[1].stem
+        assert payload["total_ratio"] > 0
+        assert all(p["ratio"] is None or p["ratio"] > 0
+                   for p in payload["phases"])
+
+    def test_spans_renders_the_tree(self, cli_log_dir, capsys):
+        newest = latest_run_log(cli_log_dir)
+        assert main(["obs", "spans", str(newest)]) == 0
+        out = capsys.readouterr().out
+        assert f"{newest.stem}:" in out and "total" in out
+        assert "collection" in out and "interventions" in out
+        assert "round:" in out  # nested child spans, indented
+        assert "%" in out  # share-of-parent annotations
+
+    def test_index_builds_and_reprints(self, cli_log_dir, capsys):
+        assert main(["obs", "index", str(cli_log_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2 indexed run" in out
+        index_path = cli_log_dir / "index.json"
+        assert index_path.exists()
+        first = index_path.read_text()
+        # rebuild from scratch is idempotent
+        assert main(["obs", "index", str(cli_log_dir), "--rebuild"]) == 0
+        capsys.readouterr()
+        assert index_path.read_text() == first
+
+    def test_index_json_lists_summary_records(self, cli_log_dir, capsys):
+        assert main(["obs", "index", str(cli_log_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["summary_schema"] == 1
+        assert len(payload["runs"]) == 2
+        for run_id, row in payload["runs"].items():
+            assert row["run_id"] == run_id
+            assert row["outcome"] == "finished"
+            assert row["n_events"] > 0
+
     def test_summary_errors_on_empty_dir(self, tmp_path):
         with pytest.raises(SystemExit, match="obs"):
             main(["obs", "summary", str(tmp_path)])

@@ -11,6 +11,10 @@ into a durable service:
   file per shard) behind a :class:`ShardedEvalMatrix`, a predicates ×
   traces memo guaranteeing each pair is evaluated at most once
   corpus-wide, with shard-parallel evaluation and compaction;
+* :mod:`~repro.corpus.columnar` — per-shard structure-of-arrays
+  :class:`ShardTable` files (v3 side cars, mmap-backed, interned
+  pools) that let columnar-capable predicates sweep a whole shard in
+  one pass instead of walking trace objects;
 * :mod:`~repro.corpus.pipeline` — the :class:`IncrementalPipeline`
   maintaining SD counts, the fully-discriminative set, and the AC-DAG
   under log insertions, with a shard-parallel ``bootstrap`` fanning out
@@ -26,11 +30,18 @@ evaluation task per shard.  See ``docs/corpus.md`` for the workflow and
 the on-disk format spec.
 """
 
+from .columnar import (
+    ColumnarError,
+    ColumnarUnsupported,
+    ShardTable,
+    build_shard_table,
+)
 from .matrix import (
     CompactionStats,
     EvalMatrix,
     ShardedEvalMatrix,
     ShardEvaluation,
+    columnar_enabled,
     merge_matrices,
     split_matrix,
 )
@@ -39,6 +50,8 @@ from .session import CorpusSession
 from .store import CorpusError, TraceEntry, TraceStore
 
 __all__ = [
+    "ColumnarError",
+    "ColumnarUnsupported",
     "CompactionStats",
     "CorpusError",
     "CorpusSession",
@@ -46,9 +59,12 @@ __all__ = [
     "IncrementalPipeline",
     "IngestResult",
     "ShardEvaluation",
+    "ShardTable",
     "ShardedEvalMatrix",
     "TraceEntry",
     "TraceStore",
+    "build_shard_table",
+    "columnar_enabled",
     "merge_matrices",
     "split_matrix",
 ]

@@ -1,0 +1,561 @@
+"""Columnar shard tables: structure-of-arrays trace storage (store v3).
+
+Role
+----
+The evaluation kernel (PR 5) indexed traces but still walks Python
+objects per trace.  This module persists each shard's traces *once* as
+a flat structure-of-arrays table — int64 columns plus interned string /
+value / lockset pools — so predicate kinds can sweep whole shard
+columns in one pass (:meth:`repro.core.predicates.PredicateDef.
+evaluate_columnar`) instead of re-materialising ``MethodExecution``
+objects for every (predicate, trace) pair.  The table is mmap-backed:
+opening it costs one header parse, and column data is paged in on
+demand, so million-trace corpora never fully materialise.
+
+Layout (``shards/<sid>/columnar.bin``, version 1)
+-------------------------------------------------
+``RCOL`` magic | u32 version | u64 header length | header JSON | zero
+padding to an 8-byte boundary | back-to-back native int64 columns.
+The header JSON carries the shard content digest (the invalidation
+key), the fingerprint list in row order, the interned pools, and a
+``columns`` map of ``name -> [element offset, count]`` relative to the
+8-aligned data start — offsets are element-relative precisely so the
+header can describe the data without knowing its own serialized size.
+
+Column groups (all int64; ``-1`` encodes "absent" where noted):
+
+* trace meta — one row per trace, in sorted-fingerprint order:
+  ``t_seed t_end t_failed t_fmode t_fexc t_fmethod t_fthread t_ftime``
+  (failure fields are string-pool indices, -1 when the trace passed or
+  the field is None).
+* calls — one row per method execution, sorted by
+  ``(method, thread, occurrence, trace)`` pool indices so every
+  :class:`~repro.sim.tracing.MethodKey` occupies one contiguous run:
+  ``c_trace c_id c_method c_thread c_occ c_start c_end c_slam c_elam
+  c_parent c_pnull c_ret c_exc c_skip c_aoff c_acnt``.  ``c_ret``
+  indexes the ``values`` pool (return values interned by canonical
+  JSON), ``c_exc`` the string pool (-1 = no exception), and
+  ``c_aoff/c_acnt`` slice the access columns.
+* key directory — one row per distinct key:
+  ``k_method k_thread k_occ k_off k_cnt`` locating each run.
+* accesses — ``a_obj a_type a_time a_lam a_locks`` (``a_locks``
+  indexes the lockset pool).
+
+Invariants
+----------
+* The table is a pure derived cache: it is a deterministic function of
+  the shard's stored payloads, keyed by ``shard_digest`` (the stable
+  digest of the sorted fingerprints).  Stale tables are rebuilt, never
+  patched.
+* Encoding is lossless where it claims to be: ``decode(row)`` returns
+  an :class:`~repro.sim.serialize.ImportedTrace` whose re-serialized
+  canonical JSON equals the stored payload's (asserted property-style
+  in tests/test_columnar.py).
+* Payloads the format cannot represent (non-integer times, ints
+  outside int64, missing lamports) raise :class:`ColumnarUnsupported`
+  at build time and the caller falls back to the object path — never a
+  silently wrong table.
+
+Persistence: tables are written atomically (tmp + ``os.replace``)
+next to the shard manifest; deleting them loses nothing but time.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+from array import array
+from pathlib import Path
+from typing import Any, Iterable, Optional, Tuple
+
+from ..sim.serialize import SCHEMA_VERSION, ImportedTrace, canonical_json
+from ..sim.tracing import Access, AccessType, FailureInfo, MethodExecution, MethodKey
+
+COLUMNAR_VERSION = 1
+#: Per-shard table file name, beside the shard manifest and matrix.
+COLUMNAR_NAME = "columnar.bin"
+
+_MAGIC = b"RCOL"
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+TRACE_COLUMNS = (
+    "t_seed", "t_end", "t_failed",
+    "t_fmode", "t_fexc", "t_fmethod", "t_fthread", "t_ftime",
+)
+CALL_COLUMNS = (
+    "c_trace", "c_id", "c_method", "c_thread", "c_occ",
+    "c_start", "c_end", "c_slam", "c_elam",
+    "c_parent", "c_pnull", "c_ret", "c_exc", "c_skip",
+    "c_aoff", "c_acnt",
+)
+KEY_COLUMNS = ("k_method", "k_thread", "k_occ", "k_off", "k_cnt")
+ACCESS_COLUMNS = ("a_obj", "a_type", "a_time", "a_lam", "a_locks")
+ALL_COLUMNS = TRACE_COLUMNS + CALL_COLUMNS + KEY_COLUMNS + ACCESS_COLUMNS
+
+
+class ColumnarError(RuntimeError):
+    """A columnar table is unreadable or inconsistent."""
+
+
+class ColumnarUnsupported(ColumnarError):
+    """The shard's payloads cannot be represented in the columnar format.
+
+    The caller falls back to the per-trace object path; this is a
+    capability signal, not corruption.
+    """
+
+
+class _Pool:
+    """Order-of-first-use interning pool."""
+
+    __slots__ = ("items", "_index")
+
+    def __init__(self) -> None:
+        self.items: list = []
+        self._index: dict = {}
+
+    def add(self, key, item=None) -> int:
+        idx = self._index.get(key)
+        if idx is None:
+            idx = len(self.items)
+            self._index[key] = idx
+            self.items.append(key if item is None else item)
+        return idx
+
+
+def _int64(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ColumnarUnsupported(f"{what} is not an integer: {value!r}")
+    if not _INT64_MIN <= value <= _INT64_MAX:
+        raise ColumnarUnsupported(f"{what} overflows int64: {value!r}")
+    return value
+
+
+def _text(value: Any, what: str) -> str:
+    if not isinstance(value, str):
+        raise ColumnarUnsupported(f"{what} is not a string: {value!r}")
+    return value
+
+
+def build_shard_table(
+    path: Path,
+    rows: Iterable[Tuple[str, dict]],
+    shard_digest: str,
+) -> Path:
+    """Encode ``rows`` of ``(fingerprint, trace payload)`` into ``path``.
+
+    Rows are sorted by fingerprint, so the table bytes are a pure
+    function of shard content.  Raises :class:`ColumnarUnsupported`
+    when any payload field falls outside the format (caller falls back
+    to the object path); nothing is written in that case.
+    """
+    ordered = sorted(rows)
+    strings = _Pool()
+    values = _Pool()
+    locksets = _Pool()
+    cols: dict[str, list[int]] = {name: [] for name in ALL_COLUMNS}
+    fingerprints: list[str] = []
+    program: Optional[str] = None
+    call_recs: list[tuple[int, int, int, int, dict]] = []
+
+    for trace_row, (fp, payload) in enumerate(ordered):
+        try:
+            if payload.get("schema") != SCHEMA_VERSION:
+                raise ColumnarUnsupported(
+                    f"trace {fp}: schema {payload.get('schema')!r}"
+                )
+            fingerprints.append(fp)
+            if trace_row == 0:
+                program = payload.get("program")
+            elif payload.get("program") != program:
+                raise ColumnarUnsupported("mixed programs in one shard")
+            cols["t_seed"].append(_int64(payload["seed"], "seed"))
+            cols["t_end"].append(_int64(payload["end_time"], "end_time"))
+            failure = payload.get("failure")
+            cols["t_failed"].append(0 if failure is None else 1)
+            if failure is None:
+                for name in ("t_fmode", "t_fexc", "t_fmethod", "t_fthread"):
+                    cols[name].append(-1)
+                cols["t_ftime"].append(0)
+            else:
+                cols["t_fmode"].append(
+                    strings.add(_text(failure["mode"], "failure.mode"))
+                )
+                for name, field in (
+                    ("t_fexc", "exception"),
+                    ("t_fmethod", "method"),
+                    ("t_fthread", "thread"),
+                ):
+                    value = failure.get(field)
+                    cols[name].append(
+                        -1 if value is None
+                        else strings.add(_text(value, f"failure.{field}"))
+                    )
+                cols["t_ftime"].append(_int64(failure["time"], "failure.time"))
+            for call in payload["calls"]:
+                m_idx = strings.add(_text(call["method"], "method"))
+                t_idx = strings.add(_text(call["thread"], "thread"))
+                occ = _int64(call["occurrence"], "occurrence")
+                call_recs.append((m_idx, t_idx, occ, trace_row, call))
+        except (KeyError, TypeError) as exc:
+            raise ColumnarUnsupported(f"trace {fp}: malformed payload ({exc!r})")
+
+    call_recs.sort(key=lambda rec: rec[:4])
+
+    acc_total = 0
+    prev_key: Optional[tuple[int, int, int]] = None
+    for pos, (m_idx, t_idx, occ, trace_row, call) in enumerate(call_recs):
+        key = (m_idx, t_idx, occ)
+        if key != prev_key:
+            if prev_key is not None:
+                cols["k_cnt"].append(pos - cols["k_off"][-1])
+            cols["k_method"].append(m_idx)
+            cols["k_thread"].append(t_idx)
+            cols["k_occ"].append(occ)
+            cols["k_off"].append(pos)
+            prev_key = key
+        cols["c_trace"].append(trace_row)
+        cols["c_id"].append(_int64(call["call_id"], "call_id"))
+        cols["c_method"].append(m_idx)
+        cols["c_thread"].append(t_idx)
+        cols["c_occ"].append(occ)
+        cols["c_start"].append(_int64(call["start_time"], "start_time"))
+        cols["c_end"].append(_int64(call["end_time"], "end_time"))
+        cols["c_slam"].append(_int64(call["start_lamport"], "start_lamport"))
+        cols["c_elam"].append(_int64(call["end_lamport"], "end_lamport"))
+        parent = call["parent_call_id"]
+        cols["c_pnull"].append(1 if parent is None else 0)
+        cols["c_parent"].append(0 if parent is None else _int64(parent, "parent"))
+        cols["c_ret"].append(values.add(canonical_json(call["return_value"])))
+        exc_kind = call["exception"]
+        cols["c_exc"].append(
+            -1 if exc_kind is None else strings.add(_text(exc_kind, "exception"))
+        )
+        cols["c_skip"].append(1 if call["body_skipped"] else 0)
+        accesses = call["accesses"]
+        cols["c_aoff"].append(acc_total)
+        cols["c_acnt"].append(len(accesses))
+        acc_total += len(accesses)
+        for acc in accesses:
+            cols["a_obj"].append(strings.add(_text(acc["obj"], "access.obj")))
+            cols["a_type"].append(strings.add(_text(acc["type"], "access.type")))
+            cols["a_time"].append(_int64(acc["time"], "access.time"))
+            cols["a_lam"].append(_int64(acc["lamport"], "access.lamport"))
+            locks = acc["locks"]
+            key_locks = tuple(sorted(_text(l, "lock") for l in locks))
+            cols["a_locks"].append(locksets.add(key_locks, list(key_locks)))
+    if prev_key is not None:
+        cols["k_cnt"].append(len(call_recs) - cols["k_off"][-1])
+
+    offsets: dict[str, list[int]] = {}
+    cursor = 0
+    payload_parts: list[bytes] = []
+    for name in ALL_COLUMNS:
+        data = cols[name]
+        offsets[name] = [cursor, len(data)]
+        cursor += len(data)
+        payload_parts.append(array("q", data).tobytes())
+
+    header = {
+        "version": COLUMNAR_VERSION,
+        "byteorder": sys.byteorder,
+        "schema": SCHEMA_VERSION,
+        "shard_digest": shard_digest,
+        "program": program,
+        "fingerprints": fingerprints,
+        "strings": strings.items,
+        "values": values.items,
+        "locksets": locksets.items,
+        "columns": offsets,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    prefix_len = len(_MAGIC) + 4 + 8 + len(header_bytes)
+    padding = (-prefix_len) % 8
+
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as fh:
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<I", COLUMNAR_VERSION))
+        fh.write(struct.pack("<Q", len(header_bytes)))
+        fh.write(header_bytes)
+        fh.write(b"\x00" * padding)
+        for part in payload_parts:
+            fh.write(part)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+class KeyRun:
+    """One :class:`MethodKey`'s contiguous call-row run, deduplicated.
+
+    A trace can (in adversarial payloads) contain several calls with
+    the same key; the object path's ``executions_by_key`` dict keeps
+    the *last* one in ``(start_time, call_id)`` order, so the run keeps
+    the last row per trace — ``traces[i]`` is the trace row owning
+    selected call ``i`` and :meth:`column` returns values aligned with
+    it.
+    """
+
+    __slots__ = ("_table", "_off", "_cnt", "traces", "_sel")
+
+    def __init__(self, table: "ShardTable", off: int, cnt: int) -> None:
+        self._table = table
+        self._off = off
+        self._cnt = cnt
+        trace_col = table.col("c_trace")[off : off + cnt].tolist()
+        sel: Optional[list[int]] = None
+        for i in range(1, cnt):
+            if trace_col[i] == trace_col[i - 1]:
+                sel = [
+                    off + j
+                    for j in range(cnt)
+                    if j + 1 == cnt or trace_col[j + 1] != trace_col[j]
+                ]
+                trace_col = [table.col("c_trace")[i] for i in sel]
+                break
+        self._sel = sel
+        self.traces = trace_col
+
+    def column(self, name: str) -> list[int]:
+        mv = self._table.col(name)
+        if self._sel is None:
+            return mv[self._off : self._off + self._cnt].tolist()
+        return [mv[i] for i in self._sel]
+
+
+class ShardTable:
+    """Read view over one shard's columnar file (mmap-backed)."""
+
+    def __init__(self, path: Path, mm: mmap.mmap, header: dict, data_start: int):
+        self.path = Path(path)
+        self._mm = mm
+        self.shard_digest: str = header["shard_digest"]
+        self.program: Optional[str] = header.get("program")
+        self.fingerprints: list[str] = header["fingerprints"]
+        self.strings: list[str] = header["strings"]
+        self._raw_values: list[str] = header["values"]
+        self._raw_locksets: list[list[str]] = header["locksets"]
+        base = memoryview(mm)
+        self._cols: dict[str, memoryview] = {}
+        for name, (off, count) in header["columns"].items():
+            start = data_start + off * 8
+            self._cols[name] = base[start : start + count * 8].cast("q")
+        # Lazily-built derived indexes (cheap to drop; see close()).
+        self._row_of: Optional[dict[str, int]] = None
+        self._string_idx: Optional[dict[str, int]] = None
+        self._values: Optional[list] = None
+        self._locksets: Optional[list[frozenset]] = None
+        self._keydir: Optional[dict[tuple[int, int, int], tuple[int, int]]] = None
+        self._signatures: Optional[list[Optional[str]]] = None
+        self._trace_calls: Optional[list[list[int]]] = None
+
+    @classmethod
+    def open(cls, path: Path) -> "ShardTable":
+        path = Path(path)
+        with path.open("rb") as fh:
+            head = fh.read(len(_MAGIC) + 4 + 8)
+            if len(head) < len(_MAGIC) + 4 + 8 or head[: len(_MAGIC)] != _MAGIC:
+                raise ColumnarError(f"{path}: not a columnar table")
+            version, header_len = struct.unpack_from("<IQ", head, len(_MAGIC))
+            if version != COLUMNAR_VERSION:
+                raise ColumnarError(f"{path}: unsupported columnar version {version}")
+            try:
+                header = json.loads(fh.read(header_len).decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ColumnarError(f"{path}: corrupt header ({exc})")
+            if header.get("byteorder") != sys.byteorder:
+                raise ColumnarError(f"{path}: foreign byte order")
+            fh.seek(0)
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        prefix_len = len(_MAGIC) + 4 + 8 + header_len
+        data_start = prefix_len + ((-prefix_len) % 8)
+        try:
+            return cls(path, mm, header, data_start)
+        except (KeyError, TypeError, ValueError) as exc:
+            mm.close()
+            raise ColumnarError(f"{path}: malformed table ({exc})")
+
+    # -- basic shape -------------------------------------------------
+
+    @property
+    def n_traces(self) -> int:
+        return len(self.fingerprints)
+
+    @property
+    def n_calls(self) -> int:
+        return len(self._cols["c_trace"])
+
+    def col(self, name: str) -> memoryview:
+        return self._cols[name]
+
+    def row_of(self, fingerprint: str) -> Optional[int]:
+        if self._row_of is None:
+            self._row_of = {fp: i for i, fp in enumerate(self.fingerprints)}
+        return self._row_of.get(fingerprint)
+
+    # -- pools -------------------------------------------------------
+
+    def string_index(self, text: str) -> Optional[int]:
+        """Pool index of ``text``, or None if no trace in the shard uses it."""
+        if self._string_idx is None:
+            self._string_idx = {s: i for i, s in enumerate(self.strings)}
+        return self._string_idx.get(text)
+
+    @property
+    def decoded_values(self) -> list:
+        """The return-value pool decoded back to Python values (cached)."""
+        if self._values is None:
+            self._values = [json.loads(s) for s in self._raw_values]
+        return self._values
+
+    def lockset(self, idx: int) -> frozenset:
+        if self._locksets is None:
+            self._locksets = [frozenset(ls) for ls in self._raw_locksets]
+        return self._locksets[idx]
+
+    # -- sweep accessors --------------------------------------------
+
+    def key_run(self, key: MethodKey) -> Optional[KeyRun]:
+        """The contiguous call run for ``key``, or None if never executed."""
+        m_idx = self.string_index(key.method)
+        t_idx = self.string_index(key.thread)
+        if m_idx is None or t_idx is None:
+            return None
+        if self._keydir is None:
+            methods = self._cols["k_method"].tolist()
+            threads = self._cols["k_thread"].tolist()
+            occs = self._cols["k_occ"].tolist()
+            offs = self._cols["k_off"].tolist()
+            cnts = self._cols["k_cnt"].tolist()
+            self._keydir = {
+                (methods[i], threads[i], occs[i]): (offs[i], cnts[i])
+                for i in range(len(offs))
+            }
+        run = self._keydir.get((m_idx, t_idx, key.occurrence))
+        if run is None:
+            return None
+        return KeyRun(self, run[0], run[1])
+
+    @property
+    def signatures(self) -> list[Optional[str]]:
+        """Per-trace failure signature (None for passing traces)."""
+        if self._signatures is None:
+            sigs: list[Optional[str]] = []
+            failed = self._cols["t_failed"]
+            modes = self._cols["t_fmode"]
+            excs = self._cols["t_fexc"]
+            methods = self._cols["t_fmethod"]
+            for row in range(self.n_traces):
+                if not failed[row]:
+                    sigs.append(None)
+                    continue
+                parts = [self.strings[modes[row]]]
+                # Truthiness, not None-ness: FailureInfo.signature drops
+                # empty strings too, and parity is to the character.
+                exc = self.strings[excs[row]] if excs[row] >= 0 else None
+                if exc:
+                    parts.append(exc)
+                method = (
+                    self.strings[methods[row]] if methods[row] >= 0 else None
+                )
+                if method:
+                    parts.append(method)
+                sigs.append("/".join(parts))
+            self._signatures = sigs
+        return self._signatures
+
+    # -- full decode (round-trip / fallback) ------------------------
+
+    def decode(self, row: int) -> ImportedTrace:
+        """Rebuild trace ``row`` as a full :class:`ImportedTrace`.
+
+        Lossless with respect to the object model: equal to
+        ``trace_from_dict`` over the original payload (call order is
+        normalised by ImportedTrace's own ``(start_time, call_id)``
+        sort either way).
+        """
+        if self._trace_calls is None:
+            per_trace: list[list[int]] = [[] for _ in range(self.n_traces)]
+            for call_row, trace_row in enumerate(self._cols["c_trace"].tolist()):
+                per_trace[trace_row].append(call_row)
+            self._trace_calls = per_trace
+        c = self._cols
+        strings = self.strings
+        values = self.decoded_values
+        calls: list[MethodExecution] = []
+        for i in self._trace_calls[row]:
+            accesses = []
+            aoff, acnt = c["c_aoff"][i], c["c_acnt"][i]
+            method = strings[c["c_method"][i]]
+            thread = strings[c["c_thread"][i]]
+            call_id = c["c_id"][i]
+            for a in range(aoff, aoff + acnt):
+                accesses.append(
+                    Access(
+                        obj=strings[c["a_obj"][a]],
+                        access_type=AccessType(strings[c["a_type"][a]]),
+                        thread=thread,
+                        method=method,
+                        call_id=call_id,
+                        time=c["a_time"][a],
+                        lamport=c["a_lam"][a],
+                        locks_held=self.lockset(c["a_locks"][a]),
+                    )
+                )
+            calls.append(
+                MethodExecution(
+                    method=method,
+                    thread=thread,
+                    call_id=call_id,
+                    occurrence=c["c_occ"][i],
+                    start_time=c["c_start"][i],
+                    end_time=c["c_end"][i],
+                    start_lamport=c["c_slam"][i],
+                    end_lamport=c["c_elam"][i],
+                    parent_call_id=None if c["c_pnull"][i] else c["c_parent"][i],
+                    return_value=values[c["c_ret"][i]],
+                    exception=None if c["c_exc"][i] < 0 else strings[c["c_exc"][i]],
+                    body_skipped=bool(c["c_skip"][i]),
+                    accesses=tuple(accesses),
+                )
+            )
+        failure = None
+        if c["t_failed"][row]:
+            failure = FailureInfo(
+                mode=strings[c["t_fmode"][row]],
+                exception=None if c["t_fexc"][row] < 0 else strings[c["t_fexc"][row]],
+                method=None
+                if c["t_fmethod"][row] < 0
+                else strings[c["t_fmethod"][row]],
+                thread=None
+                if c["t_fthread"][row] < 0
+                else strings[c["t_fthread"][row]],
+                time=c["t_ftime"][row],
+            )
+        return ImportedTrace(
+            program_name=self.program or "",
+            seed=c["t_seed"][row],
+            end_time=c["t_end"][row],
+            failure=failure,
+            calls=calls,
+            fingerprint=self.fingerprints[row],
+        )
+
+    def close(self) -> None:
+        for mv in self._cols.values():
+            mv.release()
+        self._cols = {}
+        self._mm.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardTable({self.path.name!r}, traces={self.n_traces}, "
+            f"calls={self.n_calls})"
+        )

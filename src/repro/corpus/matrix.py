@@ -65,6 +65,20 @@ MATRIX_VERSION = 1
 MATRIX_INDEX_VERSION = 2
 
 
+def columnar_enabled() -> bool:
+    """Default for the batch paths' ``columnar`` switch.
+
+    On unless ``REPRO_COLUMNAR`` is set to an explicit off value — the
+    escape hatch (and the differential-parity tests' reference path).
+    """
+    return os.environ.get("REPRO_COLUMNAR", "1").lower() not in (
+        "0",
+        "false",
+        "no",
+        "off",
+    )
+
+
 def _obs_to_list(obs: Observation) -> list:
     return [obs.start, obs.end, obs.start_lamport, obs.end_lamport]
 
@@ -230,6 +244,135 @@ class EvalMatrix:
                 trace.failure.signature if trace.failure is not None else None
             ),
         )
+
+    def log_for_table(
+        self,
+        suite: PredicateSuite,
+        table,
+        entries: Sequence[tuple[str, bool, int, Optional[str]]],
+        load_trace: Callable[[str], object],
+    ) -> list[PredicateLog]:
+        """Batch :meth:`log_for` over one shard's columnar trace table.
+
+        ``entries`` is the shard's trace group in iteration order —
+        ``(fingerprint, failed, seed, failure_signature)`` tuples with
+        distinct fingerprints — and ``table`` the shard's
+        :class:`~repro.corpus.columnar.ShardTable`.  Every
+        columnar-capable undecided pid is swept over the whole table in
+        one kernel pass; pids without columnar support (and traces
+        missing from the table) fall back to the per-trace object path,
+        loading the trace lazily via ``load_trace``.  Bitsets,
+        observation side table, counters (``pair_hits`` /
+        ``pair_evaluations`` / ``kernel_calls``), and the returned logs
+        are identical to calling :meth:`log_for` per entry — asserted
+        property-style in tests/test_columnar.py.
+        """
+        kernel = suite.kernel()
+        suite_digests = self._digests_for(suite)
+        for pid in suite.defs:
+            digest = suite_digests[pid]
+            if self.digests.get(pid) != digest:
+                self._drop_row(pid)
+                self.digests[pid] = digest
+        cols: list[int] = []
+        group_mask = 0
+        for fp, failed, _, _ in entries:
+            col = self.column(fp, failed)
+            cols.append(col)
+            group_mask |= 1 << col
+        rows = [table.row_of(fp) for fp, _, _, _ in entries]
+        table_mask = 0
+        row_to_col: dict[int, int] = {}
+        fp_by_col: dict[int, str] = {}
+        for (fp, _, _, _), col, row in zip(entries, cols, rows):
+            fp_by_col[col] = fp
+            if row is not None:
+                table_mask |= 1 << col
+                row_to_col[row] = col
+        # Counter parity with the per-trace loop: one hit per already-
+        # decided (pid, trace) pair, one fresh evaluation per undecided
+        # pair, one kernel call per trace with any undecided pid.
+        undecided_by_pid: dict[str, int] = {}
+        any_undecided = 0
+        for pid in suite.defs:
+            decided = self.evaluated.get(pid, 0)
+            undecided = group_mask & ~decided
+            self.pair_hits += (group_mask & decided).bit_count()
+            if undecided:
+                undecided_by_pid[pid] = undecided
+                any_undecided |= undecided
+                self.pair_evaluations += undecided.bit_count()
+        self.kernel_calls += any_undecided.bit_count()
+        columnar_pids = kernel.columnar_pids
+        sweep_pids = frozenset(
+            pid
+            for pid, bits in undecided_by_pid.items()
+            if pid in columnar_pids and bits & table_mask
+        )
+        sweeps = kernel.sweep(table, only=sweep_pids) if sweep_pids else {}
+        # Apply the sweeps: whole-bitset ORs per pid, observations from
+        # the sweep's row dict (off-group table rows are skipped).
+        fallback: dict[int, list[str]] = {}
+        for pid, bits in undecided_by_pid.items():
+            if pid in columnar_pids:
+                in_table = bits & table_mask
+                if in_table:
+                    self.evaluated[pid] = self.evaluated.get(pid, 0) | in_table
+                    observed_bits = 0
+                    for row, obs in sweeps[pid].items():
+                        col = row_to_col.get(row)
+                        if col is None or not (in_table >> col) & 1:
+                            continue
+                        observed_bits |= 1 << col
+                        self.observations.setdefault(fp_by_col[col], {})[
+                            pid
+                        ] = _obs_to_list(obs)
+                    if observed_bits:
+                        self.observed[pid] = (
+                            self.observed.get(pid, 0) | observed_bits
+                        )
+                rest = bits & ~table_mask
+            else:
+                rest = bits
+            while rest:
+                low = rest & -rest
+                rest ^= low
+                fallback.setdefault(low.bit_length() - 1, []).append(pid)
+        # Object-path fallback, one kernel call per affected trace.
+        if fallback:
+            col_to_index = {col: j for j, col in enumerate(cols)}
+            for col in sorted(fallback, key=lambda c: col_to_index[c]):
+                pids = fallback[col]
+                fp = fp_by_col[col]
+                trace = load_trace(fp)
+                fresh = kernel.observations(trace, only=frozenset(pids))
+                mask = 1 << col
+                for pid in pids:
+                    self.evaluated[pid] = self.evaluated.get(pid, 0) | mask
+                    obs = fresh.get(pid)
+                    if obs is not None:
+                        self.observed[pid] = self.observed.get(pid, 0) | mask
+                        self.observations.setdefault(fp, {})[pid] = _obs_to_list(
+                            obs
+                        )
+        # Assemble logs (suite definition order, like log_for's output).
+        logs: list[PredicateLog] = []
+        for (fp, failed, seed, signature), col in zip(entries, cols):
+            mask = 1 << col
+            row_obs = self.observations.get(fp, {})
+            logs.append(
+                PredicateLog(
+                    observations={
+                        pid: _obs_from_list(row_obs[pid])
+                        for pid in suite.defs
+                        if self.observed.get(pid, 0) & mask
+                    },
+                    failed=failed,
+                    seed=seed,
+                    failure_signature=signature,
+                )
+            )
+        return logs
 
     def reconstruct_log(
         self,
@@ -545,6 +688,7 @@ class ShardedEvalMatrix:
         return_logs: bool = True,
         build_dags: bool = False,
         policy: Optional[PrecedencePolicy] = None,
+        columnar: Optional[bool] = None,
     ) -> list[ShardEvaluation]:
         """Evaluate the suite over many traces, one task per shard.
 
@@ -565,6 +709,12 @@ class ShardedEvalMatrix:
         ``return_logs=False`` the (bulky) per-trace logs stay in the
         worker — the matrix carries the same information, and
         :meth:`reconstruct_log` rebuilds any log from it for free.
+
+        ``columnar`` selects the per-shard evaluation strategy: sweep
+        the shard's columnar trace table (:meth:`EvalMatrix.
+        log_for_table`) versus the per-trace object path.  The default
+        (``None`` → :func:`columnar_enabled`) is on; both strategies
+        produce byte-identical matrices, counters, and logs.
         """
         groups: dict[str, list] = {}
         for trace in traces:
@@ -576,7 +726,8 @@ class ShardedEvalMatrix:
                 )
             groups.setdefault(self.store.shard_id(fp), []).append(trace)
         return self._evaluate_groups(
-            suite, groups, engine, False, return_logs, build_dags, policy
+            suite, groups, engine, False, return_logs, build_dags, policy,
+            columnar,
         )
 
     def evaluate_fingerprints(
@@ -587,17 +738,20 @@ class ShardedEvalMatrix:
         return_logs: bool = True,
         build_dags: bool = False,
         policy: Optional[PrecedencePolicy] = None,
+        columnar: Optional[bool] = None,
     ) -> list[ShardEvaluation]:
         """Like :meth:`evaluate_shards`, but each shard task *loads its
         own traces* from the store — so trace deserialization
         parallelizes along with evaluation.  This is the path a
         pre-frozen suite takes (no global discovery pass needs the
-        traces in the parent)."""
+        traces in the parent).  On the columnar path the store's shard
+        table substitutes for the loads entirely."""
         groups: dict[str, list[str]] = {}
         for fp in fingerprints:
             groups.setdefault(self.store.shard_id(fp), []).append(fp)
         return self._evaluate_groups(
-            suite, groups, engine, True, return_logs, build_dags, policy
+            suite, groups, engine, True, return_logs, build_dags, policy,
+            columnar,
         )
 
     def _evaluate_groups(
@@ -609,6 +763,7 @@ class ShardedEvalMatrix:
         return_logs: bool,
         build_dags: bool,
         policy: Optional[PrecedencePolicy],
+        columnar: Optional[bool] = None,
     ) -> list[ShardEvaluation]:
         sids = sorted(groups)
         for sid in sids:
@@ -616,19 +771,55 @@ class ShardedEvalMatrix:
         shards = self._shards
         store = self.store
         failure_pids = suite.failure_pids() if build_dags else []
+        use_columnar = columnar_enabled() if columnar is None else bool(columnar)
 
         def evaluate_shard(sid: str) -> ShardEvaluation:
             evaluation = ShardEvaluation(shard_id=sid, matrix=shards[sid])
             failed_logs: list[PredicateLog] = []
             fingerprints: list[str] = []
-            for item in groups[sid]:
-                trace = store.load(item) if load else item
-                log = evaluation.matrix.log_for(suite, trace)
-                fingerprints.append(trace.fingerprint)
-                if return_logs:
-                    evaluation.logs.append((trace.fingerprint, log))
-                if log.failed:
-                    failed_logs.append(log)
+            # Columnar strategy: one whole-shard sweep per undecided
+            # pid over the shard's trace table (built lazily, keyed by
+            # shard content digest).  A shard whose payloads the format
+            # cannot represent yields no table and takes the per-trace
+            # path below — same results either way.
+            table = store.columnar_table(sid) if use_columnar else None
+            if table is not None:
+                entries: list[tuple] = []
+                for item in groups[sid]:
+                    if load:
+                        entry = store.entries[item]
+                        entries.append(
+                            (item, entry.failed, entry.seed, entry.signature)
+                        )
+                    else:
+                        entries.append(
+                            (
+                                item.fingerprint,
+                                item.failed,
+                                item.seed,
+                                item.failure.signature
+                                if item.failure is not None
+                                else None,
+                            )
+                        )
+                logs = evaluation.matrix.log_for_table(
+                    suite, table, entries, load_trace=store.load
+                )
+                for (fp, _, _, _), log in zip(entries, logs):
+                    fingerprints.append(fp)
+                    if return_logs:
+                        evaluation.logs.append((fp, log))
+                    if log.failed:
+                        failed_logs.append(log)
+            else:
+                for item in groups[sid]:
+                    trace = store.load(item) if load else item
+                    log = evaluation.matrix.log_for(suite, trace)
+                    fingerprints.append(trace.fingerprint)
+                    if return_logs:
+                        evaluation.logs.append((trace.fingerprint, log))
+                    if log.failed:
+                        failed_logs.append(log)
             # SD counters by popcount over the group's freshly-decided
             # columns — the same counting kernel every layer shares —
             # instead of a per-log observation walk.

@@ -10,8 +10,8 @@ ingesting the same execution twice stores it once, and manifests record
 labels, seeds, and failure signatures so analyses can plan without
 touching trace bodies.
 
-Persistence format (v2, sharded)
---------------------------------
+Persistence format (v3, sharded + columnar)
+-------------------------------------------
 Traces are bucketed by a hex prefix of their fingerprint (the *shard
 id*), so no directory and no JSON file ever has to hold the whole
 corpus, and shards are the unit of parallel analysis::
@@ -27,6 +27,14 @@ corpus, and shards are the unit of parallel analysis::
         traces/<fp>.json            one serialized trace each
         evalmatrix.json             this shard's predicate-evaluation
                                     memo (v1 single-matrix format)
+        columnar.bin                structure-of-arrays trace table
+                                    (repro.corpus.columnar; derived
+                                    cache, built lazily on analyze)
+
+The columnar table is keyed by the shard's content digest (the stable
+digest of its sorted fingerprints): ingest or eviction changes the
+digest and the next :meth:`TraceStore.columnar_table` call rebuilds the
+file.  Deleting ``columnar.bin`` is always safe.
 
 ``shard_width`` is the number of hex characters of the fingerprint used
 as the shard id (default 2 → up to 256 shards); width 0 disables
@@ -52,6 +60,11 @@ bitset files — preserving every memoized (predicate, trace) pair, so the
 first post-migration analysis performs zero re-evaluations.  The
 migration is idempotent: a crash mid-way leaves a state a later ``open``
 finishes from.
+
+Version-2 corpora differ from v3 only by the columnar side files, which
+are derived caches — so the v2→v3 migration is just the manifest version
+bump (the commit point); tables appear lazily on first analyze, or
+eagerly via ``repro corpus migrate-columnar``.
 """
 
 from __future__ import annotations
@@ -78,7 +91,7 @@ MATRIX_NAME = "evalmatrix.json"
 SUITE_NAME = "suite.json"
 TRACES_DIR = "traces"
 SHARDS_DIR = "shards"
-STORE_VERSION = 2
+STORE_VERSION = 3
 SUITE_FILE_VERSION = 1
 #: version of the ``repro corpus stats --json`` payload
 STATS_SCHEMA_VERSION = 1
@@ -145,6 +158,14 @@ class TraceStore:
         self.entries: dict[str, TraceEntry] = dict(entries or {})
         #: shard ids whose manifest must be rewritten on the next save
         self._dirty: set[str] = set()
+        #: per-shard columnar-table cache: sid -> (content digest,
+        #: ShardTable or None).  mmap-backed, so dropped on pickle.
+        self._tables: dict[str, tuple] = {}
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_tables"] = {}
+        return state
 
     # -- lifecycle -------------------------------------------------------
 
@@ -181,6 +202,8 @@ class TraceStore:
         version = manifest.get("version")
         if version == 1:
             manifest = _migrate_v1(root, manifest)
+        elif version == 2:
+            manifest = _migrate_v2(root, manifest)
         elif version != STORE_VERSION:
             raise CorpusError(
                 f"unsupported corpus version {version!r} in {path}"
@@ -267,6 +290,68 @@ class TraceStore:
     def shard_matrix_path(self, shard_id: str) -> Path:
         """Where this shard's eval-matrix bitset file lives."""
         return self.shard_dir(shard_id) / MATRIX_NAME
+
+    def columnar_path(self, shard_id: str) -> Path:
+        """Where this shard's columnar trace table lives."""
+        from .columnar import COLUMNAR_NAME
+
+        return self.shard_dir(shard_id) / COLUMNAR_NAME
+
+    def shard_content_digest(self, shard_id: str) -> str:
+        """Stable digest of the shard's sorted fingerprints — the
+        invalidation key for its derived columnar table."""
+        return stable_digest(sorted(self.shard_entries(shard_id)))
+
+    def columnar_table(self, shard_id: str, build: bool = True):
+        """The shard's columnar trace table, or ``None``.
+
+        Opens (and caches) a fresh on-disk table; a missing or stale
+        table is rebuilt from the stored payloads when ``build`` is
+        true.  Returns ``None`` when the shard's payloads cannot be
+        represented in the columnar format (the caller falls back to
+        the per-trace object path) or when ``build`` is false and no
+        fresh table exists.  The cache is keyed by the shard content
+        digest, so ingest/eviction invalidates it automatically.
+        """
+        from .columnar import (
+            ColumnarError,
+            ColumnarUnsupported,
+            ShardTable,
+            build_shard_table,
+        )
+
+        digest = self.shard_content_digest(shard_id)
+        cached = self._tables.get(shard_id)
+        if cached is not None and cached[0] == digest:
+            return cached[1]
+        path = self.columnar_path(shard_id)
+        table = None
+        if path.exists():
+            try:
+                candidate = ShardTable.open(path)
+            except (ColumnarError, OSError):
+                candidate = None
+            if candidate is not None:
+                if candidate.shard_digest == digest:
+                    table = candidate
+                else:
+                    candidate.close()
+        if table is None and build:
+            try:
+                rows = [
+                    (fp, json.loads(self.trace_path(fp).read_text()))
+                    for fp in sorted(self.shard_entries(shard_id))
+                ]
+                build_shard_table(path, rows, shard_digest=digest)
+                table = ShardTable.open(path)
+            except (ColumnarUnsupported, OSError, json.JSONDecodeError):
+                # Unrepresentable or unreadable payloads: remember the
+                # verdict for this digest and leave evaluation to the
+                # object path (which surfaces real corpus errors).
+                table = None
+        if table is not None or build:
+            self._tables[shard_id] = (digest, table)
+        return table
 
     @property
     def matrix_index_path(self) -> Path:
@@ -629,14 +714,31 @@ class TraceStore:
         }
 
 
+def _migrate_v2(root: Path, manifest: dict) -> dict:
+    """Migrate a v2 (sharded) corpus to v3 (sharded + columnar).
+
+    v3 keeps the v2 layout byte-for-byte and adds per-shard
+    ``columnar.bin`` side files — but those are *derived caches*, built
+    lazily on the first analyze (or eagerly by ``repro corpus
+    migrate-columnar``) and keyed by shard content digest.  Migration
+    is therefore just the manifest version bump; the atomic manifest
+    write is the commit point and re-running is a no-op.
+    """
+    migrated = dict(manifest)
+    migrated["version"] = STORE_VERSION
+    _write_json(root / MANIFEST_NAME, migrated)
+    return migrated
+
+
 def _migrate_v1(root: Path, manifest: dict) -> dict:
-    """Migrate a v1 (flat) corpus directory to the v2 sharded layout.
+    """Migrate a v1 (flat) corpus directory to the sharded layout
+    (landing directly on the current store version).
 
     Idempotent and crash-tolerant: trace bodies are renamed one by one
     (skipping ones already in place), shard manifests and matrix files
-    are written before the top-level manifest, and the v2 top-level
-    manifest write is the commit point — until then a re-``open`` sees
-    version 1 and resumes the migration.
+    are written before the top-level manifest, and the versioned
+    top-level manifest write is the commit point — until then a
+    re-``open`` sees version 1 and resumes the migration.
     """
     width = DEFAULT_SHARD_WIDTH
     rows = manifest.get("traces", {})

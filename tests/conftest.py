@@ -2,11 +2,41 @@
 
 from __future__ import annotations
 
+import time
+from typing import Callable
+
 import pytest
 
 from repro.harness.session import AIDSession, SessionConfig
 from repro.sim import Program
 from repro.workloads.common import REGISTRY
+
+
+def wait_until(
+    predicate: Callable[[], object],
+    timeout: float = 10.0,
+    interval: float = 0.005,
+    message: str = "condition",
+):
+    """Deadline-bounded polling: return ``predicate()``'s first truthy
+    value, failing loudly at the deadline.
+
+    The replacement for fixed ``time.sleep`` pacing in cross-thread
+    tests — a fixed sleep pays its worst case on every run *and* still
+    flakes on a machine slower than the guess, while a poll returns the
+    moment the condition holds and fails with a message when it never
+    does.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"timed out after {timeout}s waiting for {message}"
+            )
+        time.sleep(interval)
 
 
 def racy_counter_program(window: int = 10, jitter: int = 40) -> Program:

@@ -1,0 +1,322 @@
+"""The columnar shard format, proven by differential testing.
+
+Three layers of parity, each against the object path as the oracle:
+
+* **round-trip** — ``ShardTable.decode(row)`` re-serializes to the
+  same canonical JSON as ``store.load(fp)`` for every trace of every
+  seeded random corpus (the generator in :mod:`tests.gen` aims for the
+  schema's corners: unicode, NaN, empty traces, duplicate keys);
+* **observation parity** — ``SuiteKernel.sweep`` agrees with
+  ``PredicateDef.evaluate`` for every columnar predicate kind, on
+  predicates drawn from the generated traces *and* on keys that miss;
+* **pipeline parity** — ``evaluate_fingerprints(columnar=...)``
+  produces identical logs, counters, and (for the workloads) a
+  byte-identical ``SessionReport.to_dict()`` at 1 and 8 jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from gen import OBJECTS, RETURN_VALUES, make_corpus, make_payload
+from repro.core.evalkernel import SuiteKernel
+from repro.core.extraction import PredicateSuite
+from repro.core.predicates import (
+    CompoundAndPredicate,
+    DataRacePredicate,
+    ExecutedPredicate,
+    FailurePredicate,
+    MethodFailsPredicate,
+    OrderViolationPredicate,
+    TooFastPredicate,
+    TooSlowPredicate,
+    WrongReturnPredicate,
+)
+from repro.corpus.store import TraceStore
+from repro.exec import ExecutionEngine, make_backend
+from repro.harness.session import SessionConfig
+from repro.sim.serialize import canonical_json, trace_from_dict, trace_to_dict
+from repro.sim.tracing import MethodKey
+from repro.workloads.common import REGISTRY
+
+SEEDS = range(24)
+
+
+def _ingest(root, payloads) -> TraceStore:
+    store = TraceStore.init(root, program=payloads[0]["program"])
+    for payload in payloads:
+        store.ingest_payload(payload)
+    store.save()
+    return store
+
+
+def _suite_for(payloads) -> PredicateSuite:
+    """A suite touching every predicate kind, built from what the
+    corpus actually contains plus keys/values that miss entirely."""
+    traces = [trace_from_dict(p) for p in payloads]
+    keys = sorted(
+        {m.key for t in traces for m in t.method_executions()}, key=str
+    )
+    excs = sorted(
+        {
+            m.exception
+            for t in traces
+            for m in t.method_executions()
+            if m.exception is not None
+        }
+    )
+    sigs = sorted(
+        {t.failure.signature for t in traces if t.failure is not None}
+    )
+    defs: dict[str, object] = {}
+    for i, key in enumerate(keys[:6]):
+        defs[f"exec{i}"] = ExecutedPredicate(key)
+        defs[f"slow{i}"] = TooSlowPredicate(key, threshold=i * 20)
+        defs[f"fast{i}"] = TooFastPredicate(key, threshold=5 + i * 30)
+    for i, (key, exc) in enumerate(
+        itertools.product(keys[:3], excs[:2])
+    ):
+        defs[f"fails{i}"] = MethodFailsPredicate(key, exc)
+    for i, (key, value) in enumerate(zip(keys, RETURN_VALUES)):
+        defs[f"wrong{i}"] = WrongReturnPredicate(key, value)
+    for i, (a, b) in enumerate(itertools.product(keys[:3], keys[:3])):
+        defs[f"order{i}"] = OrderViolationPredicate(a, b)
+    for i, signature in enumerate(sigs):
+        defs[f"failure{i}"] = FailurePredicate(signature)
+    missing = MethodKey("no-such-method", "T404", 9)
+    defs["exec-miss"] = ExecutedPredicate(missing)
+    if keys:
+        defs["order-miss"] = OrderViolationPredicate(missing, keys[0])
+        defs["wrong-nan-miss"] = WrongReturnPredicate(
+            keys[0], float("nan")
+        )
+    if len(keys) >= 2:
+        defs["and0"] = CompoundAndPredicate(
+            (ExecutedPredicate(keys[0]), ExecutedPredicate(keys[1]))
+        )
+        defs["and1"] = CompoundAndPredicate(
+            (
+                TooSlowPredicate(keys[0], threshold=10),
+                ExecutedPredicate(keys[1]),
+            )
+        )
+        # a non-columnar member, so the compound itself must fall back
+        defs["race0"] = DataRacePredicate(keys[0], keys[1], OBJECTS[0])
+        defs["and-race"] = CompoundAndPredicate(
+            (ExecutedPredicate(keys[0]), defs["race0"])
+        )
+    return PredicateSuite(defs=defs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_decode_equals_stored_trace(self, tmp_path, seed):
+        store = _ingest(tmp_path / "c", make_corpus(seed))
+        rows = 0
+        for sid in store.shard_ids:
+            table = store.columnar_table(sid)
+            assert table is not None, f"shard {sid} has no table"
+            for fp in table.fingerprints:
+                decoded = table.decode(table.row_of(fp))
+                original = store.load(fp)
+                assert canonical_json(
+                    trace_to_dict(decoded)
+                ) == canonical_json(trace_to_dict(original))
+                assert decoded.fingerprint == fp
+                rows += 1
+        assert rows == len(store.entries)
+
+    def test_empty_trace_roundtrips(self, tmp_path):
+        rng = random.Random(0)
+        payloads = [make_payload(rng, seed=s, failed=s % 2 == 1) for s in range(4)]
+        for p in payloads:
+            p["calls"] = []
+        store = _ingest(tmp_path / "c", payloads)
+        for sid in store.shard_ids:
+            table = store.columnar_table(sid)
+            assert table is not None and table.n_calls == 0
+            for fp in table.fingerprints:
+                decoded = table.decode(table.row_of(fp))
+                assert canonical_json(
+                    trace_to_dict(decoded)
+                ) == canonical_json(trace_to_dict(store.load(fp)))
+
+    def test_table_bytes_are_deterministic(self, tmp_path):
+        payloads = make_corpus(3)
+        blobs = []
+        for name in ("a", "b"):
+            store = _ingest(tmp_path / name, payloads)
+            for sid in store.shard_ids:
+                assert store.columnar_table(sid) is not None
+            blobs.append(
+                b"".join(
+                    store.columnar_path(sid).read_bytes()
+                    for sid in store.shard_ids
+                )
+            )
+        assert blobs[0] == blobs[1]
+
+
+class TestObservationParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sweep_matches_evaluate_for_every_kind(self, tmp_path, seed):
+        payloads = make_corpus(seed)
+        store = _ingest(tmp_path / "c", payloads)
+        suite = _suite_for(payloads)
+        kernel = SuiteKernel(suite.defs)
+        columnar = {
+            pid for pid, p in suite.defs.items() if p.supports_columnar
+        }
+        assert columnar, "generator produced no columnar predicates"
+        pairs = 0
+        for sid in store.shard_ids:
+            table = store.columnar_table(sid)
+            sweeps = kernel.sweep(table)
+            assert set(sweeps) == columnar
+            for fp in table.fingerprints:
+                row = table.row_of(fp)
+                trace = store.load(fp)
+                for pid in columnar:
+                    expected = suite.defs[pid].evaluate(trace)
+                    assert sweeps[pid].get(row) == expected, (
+                        f"seed {seed} pid {pid} fp {fp}"
+                    )
+                    pairs += 1
+        assert pairs == len(columnar) * len(store.entries)
+
+    def test_compound_with_noncolumnar_member_falls_back(self):
+        payloads = make_corpus(1)
+        suite = _suite_for(payloads)
+        assert not suite.defs["race0"].supports_columnar
+        assert not suite.defs["and-race"].supports_columnar
+        assert suite.defs["and0"].supports_columnar
+        assert "race0" not in suite.columnar_pids()
+        assert "and0" in suite.columnar_pids()
+
+
+class TestPipelineParity:
+    @pytest.mark.parametrize("seed", (0, 7, 13))
+    def test_matrix_logs_and_counters_match(self, tmp_path, seed):
+        payloads = make_corpus(seed)
+        suite = _suite_for(payloads)
+        results = {}
+        for label, columnar in (("obj", False), ("col", True)):
+            store = _ingest(tmp_path / label, payloads)
+            fps = sorted(store.entries)
+            matrix = store.eval_matrix()
+            evaluations = matrix.evaluate_fingerprints(
+                suite, fps, return_logs=True, columnar=columnar
+            )
+            results[label] = (
+                [
+                    [
+                        (fp, log.failed, dict(log.observations))
+                        for fp, log in ev.logs
+                    ]
+                    for ev in evaluations
+                ],
+                [
+                    (
+                        ev.matrix.pair_evaluations,
+                        ev.matrix.pair_hits,
+                        ev.matrix.kernel_calls,
+                    )
+                    for ev in evaluations
+                ],
+                [ev.counters.counts for ev in evaluations],
+            )
+        assert results["obj"] == results["col"]
+
+    def test_warm_columnar_reuses_the_memo(self, tmp_path):
+        payloads = make_corpus(2)
+        suite = _suite_for(payloads)
+        store = _ingest(tmp_path / "c", payloads)
+        fps = sorted(store.entries)
+        matrix = store.eval_matrix()
+        matrix.evaluate_fingerprints(suite, fps, columnar=True)
+        matrix.save()
+        reopened = TraceStore.open(tmp_path / "c")
+        warm = reopened.eval_matrix()
+        evaluations = warm.evaluate_fingerprints(suite, fps, columnar=True)
+        assert sum(ev.matrix.pair_evaluations for ev in evaluations) == 0
+        assert sum(ev.matrix.pair_hits for ev in evaluations) == len(
+            fps
+        ) * len(suite.defs)
+
+    @pytest.mark.parametrize("name", REGISTRY.names())
+    def test_workload_report_is_byte_identical(
+        self, tmp_path, name, monkeypatch
+    ):
+        from repro.corpus.session import CorpusSession
+        from repro.harness.runner import collect
+
+        workload = REGISTRY.build(name)
+        corpus = collect(workload.program, n_success=8, n_fail=8)
+        seed_root = tmp_path / "seed"
+        store = TraceStore.init(seed_root, program=workload.program.name)
+        for trace in corpus.successes + corpus.failures:
+            store.ingest_payload(trace_to_dict(trace))
+        store.save()
+
+        reports = {}
+        for label, env, jobs in (
+            ("obj1", "0", 0),
+            ("col1", "1", 0),
+            ("col8", "1", 8),
+        ):
+            import shutil
+
+            root = tmp_path / label
+            shutil.copytree(seed_root, root)
+            monkeypatch.setenv("REPRO_COLUMNAR", env)
+            engine = (
+                ExecutionEngine(backend=make_backend("thread", jobs=jobs))
+                if jobs
+                else None
+            )
+            config = SessionConfig(rng_seed=7, repeats=3, engine=engine)
+            session = CorpusSession(
+                workload.program, TraceStore.open(root), config=config
+            )
+            reports[label] = canonical_json(session.run().to_dict())
+            if engine is not None:
+                engine.close()
+        assert reports["obj1"] == reports["col1"]
+        assert reports["col1"] == reports["col8"]
+
+
+class TestGoldenReport:
+    """Byte-for-byte regression against a committed fixture.
+
+    ``tests/fixtures/golden_corpus`` is a tiny npgsql trace store and
+    ``golden_report.json`` the canonical-JSON ``SessionReport.to_dict()``
+    a seeded session produces from it.  Any change to serialization,
+    predicate semantics, evaluation order, or the columnar encoder that
+    alters a single byte of the report fails here first.  Regenerate
+    deliberately (see docs/corpus.md) when the change is intended.
+    """
+
+    FIXTURES = __import__("pathlib").Path(__file__).parent / "fixtures"
+
+    @pytest.mark.parametrize("columnar_env", ("0", "1"))
+    def test_report_matches_committed_bytes(
+        self, tmp_path, monkeypatch, columnar_env
+    ):
+        import shutil
+
+        from repro.corpus.session import CorpusSession
+
+        monkeypatch.setenv("REPRO_COLUMNAR", columnar_env)
+        root = tmp_path / "c"
+        shutil.copytree(self.FIXTURES / "golden_corpus", root)
+        workload = REGISTRY.build("npgsql")
+        config = SessionConfig(rng_seed=7, repeats=3)
+        session = CorpusSession(
+            workload.program, TraceStore.open(root), config=config
+        )
+        produced = canonical_json(session.run().to_dict())
+        golden = (self.FIXTURES / "golden_report.json").read_text()
+        assert produced == golden

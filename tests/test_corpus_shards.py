@@ -1,4 +1,4 @@
-"""The sharded corpus layout: v1→v2 migration, shard-parallel analyze
+"""The sharded corpus layout: v1/v2→v3 migration, shard-parallel analyze
 determinism, AC-DAG partial merging, and compaction."""
 
 from __future__ import annotations
@@ -81,7 +81,7 @@ class TestShardLayout:
             assert store.trace_path(fp).exists()
             assert store.trace_path(fp).parent.parent.name == fp[:2]
         top = json.loads((tmp_path / "c" / "manifest.json").read_text())
-        assert top["version"] == 2
+        assert top["version"] == 3
         assert top["shards"] == store.shard_ids
 
     def test_width_zero_is_a_single_bucket(
@@ -121,7 +121,9 @@ class TestShardLayout:
 
 
 class TestMigration:
-    def test_v1_opens_as_v2_in_place(self, tmp_path, racy_program, corpus):
+    def test_v1_opens_as_current_version_in_place(
+        self, tmp_path, racy_program, corpus
+    ):
         reference = _build_store(tmp_path / "ref", racy_program, corpus)
         ref_pipeline = IncrementalPipeline(reference, program=racy_program)
         ref_pipeline.bootstrap()
@@ -132,7 +134,7 @@ class TestMigration:
         migrated = TraceStore.open(v1)
 
         manifest = json.loads((v1 / "manifest.json").read_text())
-        assert manifest["version"] == 2
+        assert manifest["version"] == 3
         assert manifest["shard_width"] == 2
         assert not (v1 / "traces").exists()
         assert set(migrated.entries) == set(reference.entries)

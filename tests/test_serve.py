@@ -480,7 +480,7 @@ class TestRegistry:
         # The satellite contract: `obs tail --follow` polls the
         # flushed-per-line JSONL of a run that is still writing — and
         # even of a file that does not exist yet.
-        import time
+        from conftest import wait_until
 
         log_path = tmp_path / "live.jsonl"
         rows = [
@@ -490,20 +490,33 @@ class TestRegistry:
             {"seq": 2, "t": 0.002, "wall": 0.0, "kind": "run-finished",
              "data": {"report": {}}},
         ]
+        out = io.StringIO()
+        started = threading.Event()
 
-        def write_slowly() -> None:
-            time.sleep(0.05)
+        def write_gated() -> None:
+            # No fixed pacing: create the file only once the main
+            # thread is entering tail_run_log (so the not-yet-existing
+            # branch is in play), then gate each further line on the
+            # follower having echoed the previous one — the tail
+            # provably observes a growing file, bounded by deadlines
+            # instead of sleep guesses.
+            started.wait(10)
+            markers = ("[header]", "suite-frozen", None)
             with log_path.open("w") as handle:
-                for row in rows:
+                for row, marker in zip(rows, markers):
                     handle.write(json.dumps(row) + "\n")
                     handle.flush()
-                    time.sleep(0.05)
+                    if marker is not None:
+                        wait_until(
+                            lambda m=marker: m in out.getvalue(),
+                            message=f"tail to echo {marker}",
+                        )
 
-        writer = threading.Thread(target=write_slowly)
+        writer = threading.Thread(target=write_gated)
         writer.start()
-        out = io.StringIO()
+        started.set()
         status = tail_run_log(
-            log_path, follow=True, interval=0.02, stream=out, timeout=10
+            log_path, follow=True, interval=0.005, stream=out, timeout=10
         )
         writer.join()
         assert status == 0

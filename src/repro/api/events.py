@@ -161,6 +161,73 @@ class DagPatched(Event):
 
 
 @dataclass(frozen=True)
+class ExplorationStarted(Event):
+    """A schedule-space exploration run is about to execute."""
+
+    kind: ClassVar[str] = "exploration-started"
+    program: str
+    strategy: str
+    budget: int
+
+
+@dataclass(frozen=True)
+class ExecutionExplored(Event):
+    """One exploration execution finished (novel or not)."""
+
+    kind: ClassVar[str] = "execution-explored"
+    index: int  # 0-based execution number within the run
+    seed: int
+    signature: str  # schedule signature of the interleaving
+    failed: bool
+    mutated: bool  # replayed a frontier prefix vs a fresh strategy run
+
+
+@dataclass(frozen=True)
+class NovelCoverage(Event):
+    """An execution exercised at least one unseen handoff edge."""
+
+    kind: ClassVar[str] = "novel-coverage"
+    signature: str
+    new_edges: int
+    total_edges: int
+
+
+@dataclass(frozen=True)
+class FailureFound(Event):
+    """An exploration execution failed with a novel schedule."""
+
+    kind: ClassVar[str] = "failure-found"
+    signature: str
+    failure_signature: str
+    seed: int
+    replay_verified: bool
+
+
+@dataclass(frozen=True)
+class FrontierStats(Event):
+    """Periodic exploration progress snapshot."""
+
+    kind: ClassVar[str] = "frontier-stats"
+    executions: int
+    frontier_size: int
+    coverage_edges: int
+    distinct_signatures: int
+    failures_found: int
+
+
+@dataclass(frozen=True)
+class ExplorationFinished(Event):
+    """The exploration budget is exhausted."""
+
+    kind: ClassVar[str] = "exploration-finished"
+    executions: int
+    failures_found: int
+    distinct_signatures: int
+    distinct_failing_signatures: int
+    coverage_edges: int
+
+
+@dataclass(frozen=True)
 class EngineFinished(Event):
     """The execution engine flushed its cache and closed."""
 

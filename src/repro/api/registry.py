@@ -117,6 +117,10 @@ extractors: Registry[Callable] = Registry("extractor")
 #: :class:`repro.core.precedence.PrecedencePolicy`.
 policies: Registry[Callable] = Registry("precedence policy")
 
+#: name → factory(seed=…, **params) returning a
+#: :class:`repro.sim.schedule.SchedulerStrategy`.
+strategies: Registry[Callable] = Registry("scheduler strategy")
+
 
 def _register_builtins() -> None:
     """Populate the backend/extractor/policy registries.
@@ -140,9 +144,19 @@ def _register_builtins() -> None:
         StartTimePolicy,
     )
     from ..exec.backends import BACKENDS
+    from ..explore.strategies import DelayStrategy, PCTStrategy
+    from ..sim.schedule import RandomStrategy
 
     for name in BACKENDS:
         backends.register(name, _backend_factory(name))
+
+    for name, cls in (
+        ("random", RandomStrategy),
+        ("pct", PCTStrategy),
+        ("delay", DelayStrategy),
+    ):
+        strategies.register(name, cls)
+    strategies.register("replay", _replay_strategy)
 
     for name, cls in (
         ("data-race", DataRaceExtractor),
@@ -172,6 +186,50 @@ def _backend_factory(name: str) -> Callable:
         return make_backend(name, jobs)
 
     factory.__name__ = f"make_{name}_backend"
+    return factory
+
+
+def _replay_strategy(seed: int = 0, schedule=None, **params):
+    """Factory for the ``replay`` strategy.
+
+    ``schedule`` may be a :class:`~repro.sim.schedule.Schedule`, an
+    already-parsed schedule dict, or a path to a saved schedule file.
+    ``seed`` is accepted (and ignored) so the factory matches the
+    uniform ``factory(seed=…, **params)`` calling convention.
+    """
+    from ..sim.schedule import ReplayStrategy, Schedule, ScheduleError
+
+    del seed
+    if schedule is None:
+        raise ScheduleError(
+            "the replay strategy needs a schedule= parameter "
+            "(a Schedule, a schedule dict, or a path to a saved one)"
+        )
+    if isinstance(schedule, dict):
+        schedule = Schedule.from_dict(schedule)
+    elif isinstance(schedule, str):
+        schedule = Schedule.load(schedule)
+    return ReplayStrategy(schedule=schedule, **params)
+
+
+def strategy_factory(
+    name: str, params: Optional[dict] = None
+) -> Callable:
+    """A per-seed strategy constructor for registered strategy ``name``.
+
+    Returns ``seed -> strategy`` — the shape
+    :class:`repro.sim.scheduler.Simulator` and the harness sweep/collect
+    loops expect, with ``params`` (e.g. ``depth`` for ``pct``) closed
+    over.  Raises :class:`RegistryError` for unknown names immediately,
+    not at first use.
+    """
+    cls = strategies.get(name)
+    fixed = dict(params or {})
+
+    def factory(seed: int):
+        return cls(seed=seed, **fixed)
+
+    factory.__name__ = f"make_{name}_strategy"
     return factory
 
 

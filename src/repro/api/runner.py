@@ -88,6 +88,8 @@ def run(
                 policy=spec.analysis.build_policy(),
                 engine=engine,
                 bus=bus,
+                strategy=spec.collection.strategy,
+                strategy_params=dict(spec.collection.strategy_params or {}),
             )
             bus.emit(
                 RunStarted(

@@ -120,12 +120,22 @@ class WorkloadSpec:
 
 @dataclass(frozen=True)
 class CollectionSpec:
-    """The labeled-trace sweep: how many of each label, from which seed."""
+    """The labeled-trace sweep: how many of each label, from which seed.
+
+    ``strategy`` names a registered scheduler strategy
+    (``repro.api.registry.strategies``) the sweep — and every
+    intervention re-execution — schedules under; ``None`` keeps the
+    default seeded-uniform picker.  ``strategy_params`` are the
+    strategy's constructor parameters (e.g. ``{"depth": 3}`` for
+    ``pct``), scalar-valued so the spec stays TOML/JSON round-trippable.
+    """
 
     n_success: int = 50
     n_fail: int = 50
     start_seed: int = 0
     max_steps: int = DEFAULT_MAX_STEPS
+    strategy: Optional[str] = None
+    strategy_params: Optional[dict] = None
 
     def problems(self) -> list[str]:
         problems = []
@@ -141,6 +151,34 @@ class CollectionSpec:
                 f"collection.max_steps: expected a positive integer, "
                 f"got {self.max_steps!r}"
             )
+        if self.strategy is not None and (
+            self.strategy not in registries.strategies
+        ):
+            problems.append(
+                f"collection.strategy: unknown scheduler strategy "
+                f"{self.strategy!r} "
+                f"(registered: {', '.join(registries.strategies.names())})"
+            )
+        if self.strategy_params is not None:
+            if self.strategy is None:
+                problems.append(
+                    "collection.strategy_params: requires "
+                    "collection.strategy"
+                )
+            if not isinstance(self.strategy_params, dict):
+                problems.append(
+                    f"collection.strategy_params: expected a table/object, "
+                    f"got {type(self.strategy_params).__name__}"
+                )
+            else:
+                for key, value in sorted(self.strategy_params.items()):
+                    if not isinstance(key, str) or not isinstance(
+                        value, (bool, int, float, str)
+                    ):
+                        problems.append(
+                            "collection.strategy_params: entries must map "
+                            f"names to scalars, got {key!r}={value!r}"
+                        )
         return problems
 
 
@@ -494,6 +532,12 @@ def _toml_scalar(value: object) -> str:
         return json.dumps(value)  # JSON string escaping is valid TOML
     if isinstance(value, (list, tuple)):
         return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    if isinstance(value, dict):
+        # Inline table — the shape collection.strategy_params needs.
+        inner = ", ".join(
+            f"{json.dumps(k)} = {_toml_scalar(v)}" for k, v in value.items()
+        )
+        return "{" + inner + "}"
     raise SpecError("", f"cannot express {type(value).__name__} in TOML")
 
 

@@ -83,6 +83,7 @@ from .harness.experiments import (
 from .harness.tables import render_table
 from .obs.cli import add_obs_flags, add_obs_subcommand, cmd_obs, obs_from_args
 from .obs.metrics import render_snapshot
+from .sim.schedule import ReplayStrategy, Schedule, ScheduleError
 from .sim.scheduler import Simulator
 from .sim.serialize import trace_to_json
 from .workloads.common import REGISTRY
@@ -196,10 +197,42 @@ def _finish_obs(args: argparse.Namespace, obs) -> None:
         print(render_snapshot(obs.final_snapshot()), file=sys.stderr)
 
 
+def _coerce_param(raw: str):
+    """A ``--strategy-param`` value as the scalar it spells."""
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_strategy_params(pairs: Optional[Sequence[str]]) -> dict:
+    """Repeated ``KEY=VALUE`` flags as a strategy-params dict."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"repro: --strategy-param: expected KEY=VALUE, got {pair!r}"
+            )
+        params[key] = _coerce_param(raw)
+    return params
+
+
 def _cmd_debug(args: argparse.Namespace) -> int:
     spec = RunSpec(
         workload=WorkloadSpec(name=args.workload),
-        collection=CollectionSpec(n_success=args.runs, n_fail=args.runs),
+        collection=CollectionSpec(
+            n_success=args.runs,
+            n_fail=args.runs,
+            strategy=args.strategy,
+            strategy_params=(
+                _parse_strategy_params(args.strategy_param) or None
+            ),
+        ),
         engine=EngineSpec.from_args(args),
         corpus=CorpusSpec(dir=args.corpus),
         analysis=AnalysisSpec(approach=args.approach, rng_seed=args.seed),
@@ -284,15 +317,147 @@ def _cmd_example3(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     workload = REGISTRY.build(args.workload)
-    result = Simulator(workload.program).run(args.seed)
+    seed = args.seed
+    if args.schedule is not None:
+        try:
+            schedule = Schedule.load(args.schedule)
+        except ScheduleError as exc:
+            raise SystemExit(f"repro: --schedule: {exc}") from exc
+        if schedule.program != workload.program.name:
+            raise SystemExit(
+                f"repro: --schedule: {args.schedule} records program "
+                f"{schedule.program!r}, not {workload.program.name!r}"
+            )
+        strategy = ReplayStrategy(schedule=schedule)
+        seed = schedule.seed  # the recording pins its own seed
+        result = Simulator(workload.program).run(seed, strategy=strategy)
+        if strategy.diverged:
+            print(
+                f"repro: warning: replay of {args.schedule} diverged "
+                "(program or interventions changed since the recording)",
+                file=sys.stderr,
+            )
+    else:
+        result = Simulator(workload.program).run(seed)
     text = trace_to_json(result.trace, indent=2)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text)
         status = "FAILED" if result.failed else "ok"
-        print(f"wrote {args.out} (seed {args.seed}, {status})")
+        print(f"wrote {args.out} (seed {seed}, {status})")
     else:
         print(text)
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .explore import ExplorationDriver, ExploreConfig
+
+    target = args.target
+    strategy = args.strategy
+    params = _parse_strategy_params(args.strategy_param)
+    start_seed = args.seed
+    max_steps = None
+    if target in REGISTRY:
+        workload_name = target
+    else:
+        try:
+            spec = RunSpec.load(target)
+        except SpecError as exc:
+            raise SystemExit(f"repro: explore: {exc}") from exc
+        if spec.workload is None or not spec.workload.name:
+            raise SystemExit(
+                f"repro: explore: {target} names no workload"
+            )
+        problems = spec.workload.problems() + spec.collection.problems()
+        if problems:
+            raise SystemExit(f"repro: explore: {problems[0]}")
+        workload_name = spec.workload.name
+        max_steps = spec.collection.max_steps
+        if strategy is None and spec.collection.strategy is not None:
+            strategy = spec.collection.strategy
+            params = dict(spec.collection.strategy_params or {}) | params
+        if start_seed is None:
+            start_seed = spec.collection.start_seed
+    workload = REGISTRY.build(workload_name)
+
+    store = None
+    if args.corpus is not None:
+        try:
+            from pathlib import Path as _Path
+
+            if (_Path(args.corpus) / "manifest.json").exists():
+                store = TraceStore.open(args.corpus)
+            else:
+                store = TraceStore.init(
+                    args.corpus, program=workload.program.name
+                )
+        except CorpusError as exc:
+            raise SystemExit(f"repro: --corpus: {exc}") from exc
+
+    log = EventLog()
+    from .api.events import EventBus
+
+    bus = EventBus([log])
+    obs = obs_from_args(args)
+    if obs is not None:
+        obs.install(bus)
+    config = ExploreConfig(
+        budget=args.budget,
+        strategy=strategy or "random",
+        strategy_params=params,
+        start_seed=start_seed or 0,
+        schedule_dir=args.schedule_dir,
+        **({"max_steps": max_steps} if max_steps is not None else {}),
+    )
+    try:
+        result = ExplorationDriver(
+            workload.program, config=config, store=store, bus=bus
+        ).run()
+    except (registries.RegistryError, ScheduleError, ValueError) as exc:
+        raise SystemExit(f"repro: explore: {exc}") from exc
+    finally:
+        if obs is not None:
+            obs.close()
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        _finish_obs(args, obs)
+        return 0
+    print(
+        f"explored {result.executions} executions of "
+        f"{workload.program.name} under {result.strategy}"
+    )
+    print(
+        f"coverage : {result.coverage_edges} handoff edges, "
+        f"{result.distinct_signatures} distinct schedules, "
+        f"frontier {result.frontier_size}"
+    )
+    print(
+        f"failures : {result.n_failed} failing executions, "
+        f"{result.distinct_failing_signatures} distinct failing schedules"
+    )
+    for failure in result.failures:
+        verified = (
+            "replay ok"
+            if failure.replay_verified
+            else (
+                "REPLAY DIVERGED"
+                if failure.replay_verified is False
+                else "unverified"
+            )
+        )
+        where = f"  -> {failure.path}" if failure.path else ""
+        print(
+            f"  {failure.signature}  seed {failure.seed}  "
+            f"{failure.failure_signature}  ({verified}){where}"
+        )
+    if store is not None:
+        print(
+            f"corpus   : {args.corpus} now {store.n_pass} pass / "
+            f"{store.n_fail} fail "
+            f"(+{result.ingested_pass}/+{result.ingested_fail} this run)"
+        )
+    _finish_obs(args, obs)
     return 0
 
 
@@ -398,6 +563,16 @@ def _cmd_corpus_stats(args: argparse.Namespace) -> int:
     )
     for signature, count in sorted(store.signature_counts().items()):
         print(f"  failure signature {signature}: {count}")
+    schedules = store.schedule_counts()
+    if any(schedules.values()):
+        print(
+            f"schedules: {schedules['fail']} distinct failing / "
+            f"{schedules['pass']} distinct passing interleavings recorded"
+        )
+        for signature, count in sorted(
+            store.schedule_counts_by_signature().items()
+        ):
+            print(f"  failure signature {signature}: {count} schedules")
     matrix = store.eval_matrix()
     if matrix.n_traces:
         print(
@@ -663,6 +838,21 @@ def build_parser() -> argparse.ArgumentParser:
         "of re-running the collection sweep (predicate evaluation is "
         "memoized across invocations)",
     )
+    debug.add_argument(
+        "--strategy",
+        default=None,
+        choices=registries.strategies.names(),
+        help="scheduler strategy for collection and intervention "
+        "re-execution (default: the seeded-uniform picker)",
+    )
+    debug.add_argument(
+        "--strategy-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="strategy constructor parameter (repeatable), e.g. "
+        "--strategy-param depth=3",
+    )
     EngineSpec.add_flags(debug)
     add_obs_flags(debug)
 
@@ -692,6 +882,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the trace JSON to FILE instead of stdout "
         "(handy for building corpora: repro corpus ingest DIR FILE)",
     )
+    trace.add_argument(
+        "--schedule", default=None, metavar="FILE",
+        help="replay a recorded schedule file (from `repro explore "
+        "--schedule-dir`) instead of running a fresh seed; the "
+        "recording pins the seed, so --seed is ignored",
+    )
+
+    explore = sub.add_parser(
+        "explore",
+        help="coverage-guided schedule-space exploration: fuzz "
+        "interleavings, record replayable schedules for every novel "
+        "failure, optionally ingest them into a corpus",
+    )
+    explore.add_argument(
+        "target", metavar="TARGET",
+        help="a workload name (see `repro list`) or a RunSpec "
+        ".toml/.json file (its workload and collection.strategy apply)",
+    )
+    explore.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="executions to spend (default 200)",
+    )
+    explore.add_argument(
+        "--strategy", default=None,
+        choices=registries.strategies.names(),
+        help="strategy for fresh (non-mutated) executions (default "
+        "random, or the spec's collection.strategy)",
+    )
+    explore.add_argument(
+        "--strategy-param",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="strategy constructor parameter (repeatable), e.g. "
+        "--strategy-param depth=3",
+    )
+    explore.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="ingest novel traces into this corpus directory "
+        "(initialized if empty; analysis views patch incrementally "
+        "once both labels exist)",
+    )
+    explore.add_argument(
+        "--schedule-dir", default=None, metavar="DIR",
+        help="save one replayable <signature>.json schedule per novel "
+        "failure (replay with `repro trace W --schedule FILE`)",
+    )
+    explore.add_argument(
+        "--seed", type=int, default=None,
+        help="first execution seed (default 0, or the spec's "
+        "collection.start_seed)",
+    )
+    explore.add_argument(
+        "--json", action="store_true",
+        help="print the versioned exploration payload instead of text",
+    )
+    add_obs_flags(explore)
 
     corpus = sub.add_parser(
         "corpus", help="manage a persistent trace-corpus store"
@@ -849,6 +1096,7 @@ _COMMANDS = {
     "figure6": _cmd_figure6,
     "example3": _cmd_example3,
     "trace": _cmd_trace,
+    "explore": _cmd_explore,
     "corpus": _cmd_corpus,
     "obs": cmd_obs,
     "serve": _cmd_serve,

@@ -329,22 +329,30 @@ class IncrementalPipeline:
 
     # -- ingestion -------------------------------------------------------
 
-    def ingest(self, trace) -> IngestResult:
+    def ingest(
+        self, trace, schedule_signature: Optional[str] = None
+    ) -> IngestResult:
         """Store one new trace and patch every maintained view.
 
         Duplicates (same content fingerprint) change nothing.  Failed
         traces with a different failure signature are stored but excluded
         from this pipeline's views, exactly as
         :meth:`~repro.harness.runner.LabeledCorpus.restrict_failures`
-        excludes them from a batch session.
+        excludes them from a batch session.  ``schedule_signature``
+        stamps interleaving provenance into the manifest row (see
+        :meth:`~repro.corpus.store.TraceStore.ingest`).
         """
         if not self.bootstrapped:
             raise CorpusError("bootstrap() the pipeline before ingesting")
         with self._span("ingest"):
-            return self._ingest(trace)
+            return self._ingest(trace, schedule_signature)
 
-    def _ingest(self, trace) -> IngestResult:
-        fp, added = self.store.ingest(trace)
+    def _ingest(
+        self, trace, schedule_signature: Optional[str] = None
+    ) -> IngestResult:
+        fp, added = self.store.ingest(
+            trace, schedule_signature=schedule_signature
+        )
         failed = trace.failed
         if not added:
             return IngestResult(fingerprint=fp, added=False, failed=failed)

@@ -69,6 +69,7 @@ eagerly via ``repro corpus migrate-columnar``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 from dataclasses import dataclass
@@ -112,17 +113,25 @@ class TraceEntry:
     label: str  # "pass" | "fail"
     seed: int
     signature: Optional[str]  # failure signature, None for passes
+    #: schedule (interleaving) signature when the producer recorded one
+    #: (the exploration driver stamps it); ``None`` for plain ingests
+    schedule: Optional[str] = None
 
     @property
     def failed(self) -> bool:
         return self.label == "fail"
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "label": self.label,
             "seed": self.seed,
             "signature": self.signature,
         }
+        # Written only when present, so manifests without schedule
+        # provenance stay byte-identical to what older builds wrote.
+        if self.schedule is not None:
+            payload["schedule"] = self.schedule
+        return payload
 
     @classmethod
     def from_dict(cls, fingerprint: str, raw: dict) -> "TraceEntry":
@@ -131,6 +140,7 @@ class TraceEntry:
             label=raw["label"],
             seed=raw["seed"],
             signature=raw.get("signature"),
+            schedule=raw.get("schedule"),
         )
 
 
@@ -435,18 +445,26 @@ class TraceStore:
 
     # -- ingestion -------------------------------------------------------
 
-    def ingest(self, trace) -> tuple[str, bool]:
+    def ingest(
+        self, trace, schedule_signature: Optional[str] = None
+    ) -> tuple[str, bool]:
         """Add one trace (live or imported); returns ``(fp, added)``.
 
         Dedup is content-addressed: the fingerprint is the stable digest
         of the serialized trace, so re-ingesting an identical execution
-        is a no-op.  Call :meth:`save` after a batch to persist the
-        manifests.
+        is a no-op.  ``schedule_signature`` stamps the interleaving
+        identity (:meth:`repro.sim.schedule.Schedule.signature`) into
+        the manifest row when the producer recorded one.  Call
+        :meth:`save` after a batch to persist the manifests.
         """
         payload = trace_to_dict(trace)
-        return self.ingest_payload(payload)
+        return self.ingest_payload(
+            payload, schedule_signature=schedule_signature
+        )
 
-    def ingest_payload(self, payload: dict) -> tuple[str, bool]:
+    def ingest_payload(
+        self, payload: dict, schedule_signature: Optional[str] = None
+    ) -> tuple[str, bool]:
         """Add one already-serialized trace payload; returns ``(fp, added)``."""
         # Validate eagerly — a malformed payload must fail on ingest, not
         # years later mid-analysis.  Also checks the schema version.
@@ -459,7 +477,14 @@ class TraceStore:
                 f"corpus holds {self._program!r}"
             )
         fp = stable_digest(payload)
-        if fp in self.entries:
+        existing = self.entries.get(fp)
+        if existing is not None:
+            if schedule_signature is not None and existing.schedule is None:
+                # Enrich a duplicate with the provenance it lacked.
+                self.entries[fp] = dataclasses.replace(
+                    existing, schedule=schedule_signature
+                )
+                self._dirty.add(self.shard_id(fp))
             return fp, False
         path = self.trace_path(fp)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -471,6 +496,7 @@ class TraceStore:
             signature=(
                 trace.failure.signature if trace.failure is not None else None
             ),
+            schedule=schedule_signature,
         )
         self._dirty.add(self.shard_id(fp))
         return fp, True
@@ -684,6 +710,26 @@ class TraceStore:
             return None
         return max(sorted(counts), key=lambda s: counts[s])
 
+    def schedule_counts(self) -> dict[str, int]:
+        """Distinct recorded schedule signatures per label — the
+        fuzzing-progress number: how many *interleavings* (not merely
+        traces) each label has accumulated.  Traces ingested without
+        schedule provenance do not count."""
+        schedules: dict[str, set[str]] = {"pass": set(), "fail": set()}
+        for e in self.entries.values():
+            if e.schedule is not None:
+                schedules[e.label].add(e.schedule)
+        return {label: len(sigs) for label, sigs in schedules.items()}
+
+    def schedule_counts_by_signature(self) -> dict[str, int]:
+        """Distinct recorded schedules per failure signature — schedule
+        diversity within each debugged bug."""
+        schedules: dict[str, set[str]] = {}
+        for e in self.entries.values():
+            if e.signature is not None and e.schedule is not None:
+                schedules.setdefault(e.signature, set()).add(e.schedule)
+        return {sig: len(s) for sig, s in schedules.items()}
+
     def stats_dict(self) -> dict:
         """The ``repro corpus stats --json`` payload: a versioned,
         machine-readable snapshot of corpus and eval-matrix health —
@@ -705,6 +751,12 @@ class TraceStore:
                 "populated": len(self.shard_ids),
             },
             "signatures": dict(sorted(self.signature_counts().items())),
+            "schedules": {
+                **self.schedule_counts(),
+                "by_signature": dict(
+                    sorted(self.schedule_counts_by_signature().items())
+                ),
+            },
             "matrix": {
                 "predicates": matrix.n_pids,
                 "traces": matrix.n_traces,

@@ -1,0 +1,37 @@
+"""``repro.explore`` — pluggable schedule-space exploration.
+
+The simulator's scheduling decisions flow through one seam
+(:class:`~repro.sim.schedule.SchedulerStrategy`); this package supplies
+the systematic search policies that plug into it (PCT and delay-bounded
+scheduling, :mod:`repro.explore.strategies`) and the coverage-guided
+fuzzing loop that drives them (:mod:`repro.explore.driver`): frontier of
+novel interleavings, prefix-replay mutation, corpus ingestion of every
+novel failing schedule, and on-the-spot replay verification.
+
+Entry points: :func:`explore` / :class:`ExplorationDriver` from Python,
+``repro explore`` from the CLI, ``collection.strategy`` in a
+:class:`~repro.api.spec.RunSpec` to run a whole debugging session under
+a non-default strategy.
+"""
+
+from .driver import (
+    EXPLORE_SCHEMA_VERSION,
+    ExplorationDriver,
+    ExplorationResult,
+    ExploreConfig,
+    FoundFailure,
+    explore,
+)
+from .strategies import DEFAULT_HORIZON, DelayStrategy, PCTStrategy
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "DelayStrategy",
+    "EXPLORE_SCHEMA_VERSION",
+    "ExplorationDriver",
+    "ExplorationResult",
+    "ExploreConfig",
+    "FoundFailure",
+    "PCTStrategy",
+    "explore",
+]

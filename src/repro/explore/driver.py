@@ -1,0 +1,418 @@
+"""Coverage-guided schedule-space exploration over one program.
+
+Role
+----
+The fuzzing loop of :mod:`repro.explore`: run the simulator under a
+pluggable strategy, fingerprint each execution's *interleaving*
+(:meth:`~repro.sim.schedule.Schedule.signature`), keep a frontier of
+coverage-increasing schedules, and mutate frontier members (replay a
+prefix, explore a fresh tail) to push into unseen handoff orderings.
+Every novel failing interleaving becomes two durable artifacts:
+
+* its trace, ingested into a :class:`~repro.corpus.store.TraceStore`
+  (through the :class:`~repro.corpus.pipeline.IncrementalPipeline` once
+  the store can bootstrap one, so the corpus's SD counts, FD set, and
+  AC-DAG stay patched as failures stream in);
+* its recorded :class:`~repro.sim.schedule.Schedule`, replay-verified
+  on the spot and optionally saved to disk — the reproducer.
+
+Coverage signal
+---------------
+An execution's coverage is its set of thread-handoff edges
+(``Schedule.transitions()``: which thread ran immediately after which).
+The alphabet is tiny and saturates fast on small programs — exactly the
+property a frontier needs: once edges stop appearing, mutation energy
+concentrates on reorderings of known edges, which is where the
+signature (full decision sequence) keeps discriminating.
+
+Invariants
+----------
+* a driver run is a pure function of ``(config, program)``: all
+  randomness flows from ``Random(config.start_seed)`` and the
+  per-execution seeds ``start_seed + i`` (asserted in tests);
+* observers never affect results — events mirror state changes that
+  already happened (the :mod:`repro.api.events` contract);
+* every reported failure's schedule replays to the recorded trace
+  fingerprint when ``verify_replays`` is on (asserted per failure and
+  surfaced per-failure in the result payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.schedule import RandomStrategy, ReplayStrategy, Schedule
+from ..sim.scheduler import DEFAULT_MAX_STEPS, Simulator
+from ..sim.serialize import stable_digest, trace_to_dict
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.events import EventBus
+    from ..corpus.store import TraceStore
+    from ..sim.program import Program
+
+#: version of the ``repro explore --json`` payload
+EXPLORE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Knobs for one exploration run."""
+
+    #: total executions to spend
+    budget: int = 200
+    #: registered strategy driving *fresh* (non-mutated) executions
+    strategy: str = "random"
+    strategy_params: dict = field(default_factory=dict)
+    start_seed: int = 0
+    max_steps: int = DEFAULT_MAX_STEPS
+    #: probability a run mutates a frontier schedule instead of running
+    #: the strategy fresh (0 disables mutation entirely)
+    mutation_rate: float = 0.5
+    #: most coverage-increasing schedules kept for mutation (FIFO)
+    frontier_cap: int = 64
+    #: passing traces ingested into the corpus (novel-coverage ones
+    #: first) — enough for the pipeline to bootstrap, without flooding
+    #: the store with near-duplicate successes
+    max_pass_ingest: int = 25
+    #: emit a frontier-stats event every N executions (0 disables)
+    stats_every: int = 50
+    #: re-run every novel failure from its recorded schedule and check
+    #: the trace fingerprint matches
+    verify_replays: bool = True
+    #: directory to save one ``<signature>.json`` schedule per novel
+    #: failure (``None`` = keep schedules in memory only)
+    schedule_dir: Optional[str] = None
+
+
+@dataclass
+class FoundFailure:
+    """One novel failing interleaving and its reproducer."""
+
+    schedule: Schedule
+    signature: str  # schedule (interleaving) signature
+    failure_signature: str
+    seed: int
+    fingerprint: str  # trace content fingerprint
+    replay_verified: Optional[bool] = None  # None = not verified
+    path: Optional[str] = None  # saved schedule file, if any
+
+    def to_dict(self) -> dict:
+        return {
+            "signature": self.signature,
+            "failure_signature": self.failure_signature,
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "replay_verified": self.replay_verified,
+            "path": self.path,
+            "decisions": len(self.schedule),
+        }
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration run learned."""
+
+    program: str
+    strategy: str
+    budget: int
+    executions: int = 0
+    n_failed: int = 0
+    distinct_signatures: int = 0
+    distinct_failing_signatures: int = 0
+    coverage_edges: int = 0
+    frontier_size: int = 0
+    ingested_pass: int = 0
+    ingested_fail: int = 0
+    failures: list[FoundFailure] = field(default_factory=list)
+
+    @property
+    def all_replays_verified(self) -> bool:
+        """Whether every verified failure replayed byte-identically
+        (vacuously true when verification was off)."""
+        return all(
+            f.replay_verified is not False for f in self.failures
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": EXPLORE_SCHEMA_VERSION,
+            "program": self.program,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "executions": self.executions,
+            "n_failed": self.n_failed,
+            "distinct_signatures": self.distinct_signatures,
+            "distinct_failing_signatures": self.distinct_failing_signatures,
+            "coverage_edges": self.coverage_edges,
+            "frontier_size": self.frontier_size,
+            "ingested": {
+                "pass": self.ingested_pass,
+                "fail": self.ingested_fail,
+            },
+            "failures_found": len(self.failures),
+            "all_replays_verified": self.all_replays_verified,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
+
+class ExplorationDriver:
+    """The coverage-guided exploration loop (see the module docstring).
+
+    ``store`` is optional: without one, exploration still finds and
+    verifies failures, it just keeps no durable corpus.  With one, every
+    novel failing trace (plus a bounded sample of passes) is ingested —
+    through an :class:`~repro.corpus.pipeline.IncrementalPipeline` as
+    soon as the store holds both labels, so the maintained analysis
+    views patch along.
+    """
+
+    def __init__(
+        self,
+        program: "Program",
+        config: Optional[ExploreConfig] = None,
+        store: Optional["TraceStore"] = None,
+        bus: Optional["EventBus"] = None,
+    ) -> None:
+        self.program = program
+        self.config = config or ExploreConfig()
+        self.store = store
+        self.bus = bus
+        self.simulator = Simulator(
+            program, max_steps=self.config.max_steps
+        )
+        #: interleaving signatures of every execution seen
+        self.seen: set[str] = set()
+        #: signatures that failed (novelty filter for ingestion)
+        self.failing_seen: set[str] = set()
+        #: handoff edges covered so far
+        self.coverage: set[tuple[str, str]] = set()
+        #: coverage-increasing schedules, mutation fodder (FIFO-capped)
+        self.frontier: list[Schedule] = []
+        self.pipeline = None  # lazily bootstrapped IncrementalPipeline
+        self._rng = Random(self.config.start_seed)
+
+    def _emit(self, event) -> None:
+        if self.bus is not None:
+            self.bus.emit(event)
+
+    # -- the loop --------------------------------------------------------
+
+    def run(self) -> ExplorationResult:
+        from ..api.events import ExplorationFinished, ExplorationStarted
+        from ..api.registry import strategy_factory
+
+        cfg = self.config
+        factory = strategy_factory(cfg.strategy, cfg.strategy_params)
+        result = ExplorationResult(
+            program=self.program.name,
+            strategy=cfg.strategy,
+            budget=cfg.budget,
+        )
+        self._emit(
+            ExplorationStarted(
+                program=self.program.name,
+                strategy=cfg.strategy,
+                budget=cfg.budget,
+            )
+        )
+        for i in range(cfg.budget):
+            seed = cfg.start_seed + i
+            strategy, mutated = self._next_strategy(factory, seed)
+            execution = self.simulator.run(seed, strategy=strategy)
+            self._observe(execution, seed, mutated, result)
+            if cfg.stats_every and (i + 1) % cfg.stats_every == 0:
+                self._emit_stats(result)
+        result.coverage_edges = len(self.coverage)
+        result.frontier_size = len(self.frontier)
+        result.distinct_signatures = len(self.seen)
+        result.distinct_failing_signatures = len(self.failing_seen)
+        self._persist()
+        self._emit(
+            ExplorationFinished(
+                executions=result.executions,
+                failures_found=len(result.failures),
+                distinct_signatures=result.distinct_signatures,
+                distinct_failing_signatures=(
+                    result.distinct_failing_signatures
+                ),
+                coverage_edges=result.coverage_edges,
+            )
+        )
+        return result
+
+    def _next_strategy(self, factory, seed: int):
+        """Mutate a frontier schedule, or run the base strategy fresh."""
+        cfg = self.config
+        if self.frontier and self._rng.random() < cfg.mutation_rate:
+            parent = self._rng.choice(self.frontier)
+            if len(parent) > 0:
+                cut = self._rng.randrange(1, len(parent) + 1)
+                return (
+                    ReplayStrategy(
+                        schedule=parent,
+                        prefix=cut,
+                        tail=RandomStrategy(seed),
+                    ),
+                    True,
+                )
+        return factory(seed), False
+
+    def _observe(self, execution, seed, mutated, result) -> None:
+        from ..api.events import ExecutionExplored, NovelCoverage
+
+        cfg = self.config
+        schedule = execution.schedule
+        signature = schedule.signature()
+        failed = execution.failed
+        result.executions += 1
+        if failed:
+            result.n_failed += 1
+        novel_signature = signature not in self.seen
+        self.seen.add(signature)
+        self._emit(
+            ExecutionExplored(
+                index=result.executions - 1,
+                seed=seed,
+                signature=signature,
+                failed=failed,
+                mutated=mutated,
+            )
+        )
+        new_edges = schedule.transitions() - self.coverage
+        if new_edges:
+            self.coverage.update(new_edges)
+            self.frontier.append(schedule)
+            if len(self.frontier) > cfg.frontier_cap:
+                self.frontier.pop(0)
+            self._emit(
+                NovelCoverage(
+                    signature=signature,
+                    new_edges=len(new_edges),
+                    total_edges=len(self.coverage),
+                )
+            )
+        if failed and signature not in self.failing_seen:
+            self.failing_seen.add(signature)
+            self._record_failure(execution, schedule, signature, result)
+        elif (
+            not failed
+            and novel_signature
+            and result.ingested_pass < cfg.max_pass_ingest
+        ):
+            if self._ingest(execution.trace, signature):
+                result.ingested_pass += 1
+
+    def _record_failure(self, execution, schedule, signature, result):
+        from ..api.events import FailureFound
+
+        cfg = self.config
+        fingerprint = stable_digest(trace_to_dict(execution.trace))
+        verified: Optional[bool] = None
+        if cfg.verify_replays:
+            replay = self.simulator.run(
+                schedule.seed, strategy=ReplayStrategy(schedule=schedule)
+            )
+            verified = (
+                stable_digest(trace_to_dict(replay.trace)) == fingerprint
+            )
+        path = None
+        if cfg.schedule_dir is not None:
+            directory = Path(cfg.schedule_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = str(schedule.save(directory / f"{signature}.json"))
+        found = FoundFailure(
+            schedule=schedule,
+            signature=signature,
+            failure_signature=execution.failure.signature,
+            seed=schedule.seed,
+            fingerprint=fingerprint,
+            replay_verified=verified,
+            path=path,
+        )
+        result.failures.append(found)
+        if self._ingest(execution.trace, signature):
+            result.ingested_fail += 1
+        self._emit(
+            FailureFound(
+                signature=signature,
+                failure_signature=found.failure_signature,
+                seed=found.seed,
+                replay_verified=bool(verified),
+            )
+        )
+
+    # -- corpus integration ----------------------------------------------
+
+    def _ingest(self, trace, schedule_signature: str) -> bool:
+        """Store one trace (through the pipeline once it can bootstrap);
+        returns whether the store grew."""
+        if self.store is None:
+            return False
+        self._maybe_bootstrap()
+        if self.pipeline is not None:
+            outcome = self.pipeline.ingest(
+                trace, schedule_signature=schedule_signature
+            )
+            return outcome.added
+        _, added = self.store.ingest(
+            trace, schedule_signature=schedule_signature
+        )
+        return added
+
+    def _maybe_bootstrap(self) -> None:
+        """Bootstrap the incremental pipeline once both labels exist.
+
+        A store that cannot bootstrap yet (or whose content defeats
+        suite discovery) falls back to plain ``store.ingest`` — the
+        traces are never lost, analysis just starts on the next
+        ``repro corpus analyze``.
+        """
+        from ..corpus.pipeline import IncrementalPipeline
+        from ..corpus.store import CorpusError
+
+        if self.pipeline is not None or self.store is None:
+            return
+        if self.store.n_pass < 1 or self.store.n_fail < 1:
+            return
+        pipeline = IncrementalPipeline(
+            self.store, program=self.program, bus=self.bus
+        )
+        try:
+            pipeline.bootstrap()
+        except CorpusError:
+            return
+        self.pipeline = pipeline
+
+    def _persist(self) -> None:
+        if self.pipeline is not None:
+            self.pipeline.save()
+        elif self.store is not None:
+            self.store.save()
+
+    def _emit_stats(self, result) -> None:
+        from ..api.events import FrontierStats
+
+        self._emit(
+            FrontierStats(
+                executions=result.executions,
+                frontier_size=len(self.frontier),
+                coverage_edges=len(self.coverage),
+                distinct_signatures=len(self.seen),
+                failures_found=len(result.failures),
+            )
+        )
+
+
+def explore(
+    program: "Program",
+    config: Optional[ExploreConfig] = None,
+    store: Optional["TraceStore"] = None,
+    bus: Optional["EventBus"] = None,
+) -> ExplorationResult:
+    """One-call exploration: run the driver and return its result."""
+    return ExplorationDriver(
+        program, config=config, store=store, bus=bus
+    ).run()

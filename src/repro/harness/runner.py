@@ -9,9 +9,10 @@ so collection is just a seed sweep until both quotas are met.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..sim.program import Program
+from ..sim.schedule import SchedulerStrategy
 from ..sim.scheduler import DEFAULT_MAX_STEPS, Simulator
 from ..sim.tracing import ExecutionTrace
 
@@ -65,9 +66,19 @@ def sweep(
     program: Program,
     start_seed: int = 0,
     max_steps: int = DEFAULT_MAX_STEPS,
+    strategy_factory: Optional[
+        Callable[[int], SchedulerStrategy]
+    ] = None,
 ) -> Iterator[ExecutionTrace]:
-    """Endless stream of traces from consecutive seeds."""
-    simulator = Simulator(program, max_steps=max_steps)
+    """Endless stream of traces from consecutive seeds.
+
+    ``strategy_factory`` (seed → strategy) selects the scheduling
+    strategy per execution; ``None`` keeps the historical seeded-uniform
+    picker (byte-identical traces).
+    """
+    simulator = Simulator(
+        program, max_steps=max_steps, strategy_factory=strategy_factory
+    )
     seed = start_seed
     while True:
         yield simulator.run(seed).trace
@@ -81,6 +92,9 @@ def collect(
     start_seed: int = 0,
     max_attempts: int = 20_000,
     max_steps: int = DEFAULT_MAX_STEPS,
+    strategy_factory: Optional[
+        Callable[[int], SchedulerStrategy]
+    ] = None,
 ) -> LabeledCorpus:
     """Run the program until the corpus has the requested label counts.
 
@@ -90,7 +104,12 @@ def collect(
     """
     corpus = LabeledCorpus()
     attempts = 0
-    for trace in sweep(program, start_seed=start_seed, max_steps=max_steps):
+    for trace in sweep(
+        program,
+        start_seed=start_seed,
+        max_steps=max_steps,
+        strategy_factory=strategy_factory,
+    ):
         attempts += 1
         if trace.failed and len(corpus.failures) < n_fail:
             corpus.failures.append(trace)

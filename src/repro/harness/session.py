@@ -56,6 +56,12 @@ class SessionConfig:
     #: Observer seam (see :mod:`repro.api.events`): the session emits
     #: phase events onto this bus.  Observers never affect results.
     bus: Optional["EventBus"] = None
+    #: Registered scheduler-strategy name for collection *and*
+    #: intervention re-execution (``None`` = the historical
+    #: seeded-uniform picker, byte-identical traces), plus its
+    #: parameters (e.g. ``{"depth": 3}`` for ``pct``).
+    strategy: Optional[str] = None
+    strategy_params: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -148,6 +154,18 @@ class AIDSession:
             return self.config.bus.span(name)
         return nullcontext()
 
+    def _strategy_factory(self):
+        """The per-seed scheduler-strategy constructor this session's
+        config names, or ``None`` for the default picker.  Lazy registry
+        import: the harness must stay importable without ``repro.api``."""
+        if self.config.strategy is None:
+            return None
+        from ..api.registry import strategy_factory
+
+        return strategy_factory(
+            self.config.strategy, self.config.strategy_params
+        )
+
     # -- pipeline stages (each cached, callable individually) -----------
 
     def collect(self) -> LabeledCorpus:
@@ -170,6 +188,7 @@ class AIDSession:
                     n_fail=cfg.n_fail,
                     start_seed=cfg.start_seed,
                     max_steps=cfg.max_steps,
+                    strategy_factory=self._strategy_factory(),
                 )
             signature = corpus.dominant_failure_signature()
             self._signature = signature
@@ -294,7 +313,13 @@ class AIDSession:
             base = max(seeds, default=0) + 1_000_000
             seeds = seeds + [base + i for i in range(extra)]
         return SimulationRunner(
-            simulator=Simulator(self.program, max_steps=self.config.max_steps),
+            # The simulator carries the strategy factory so intervention
+            # re-executions schedule exactly like collection did.
+            simulator=Simulator(
+                self.program,
+                max_steps=self.config.max_steps,
+                strategy_factory=self._strategy_factory(),
+            ),
             suite=self._suite,
             failure_pid=self._failure_pid,
             seeds=seeds,
@@ -318,6 +343,12 @@ class AIDSession:
         if cfg.extractors is not None:
             names = ",".join(sorted(type(e).__name__ for e in cfg.extractors))
             key += f"!x[{names}]"
+        if cfg.strategy is not None:
+            params = ",".join(
+                f"{k}={cfg.strategy_params[k]}"
+                for k in sorted(cfg.strategy_params)
+            )
+            key += f"~{cfg.strategy}({params})"
         return key
 
     def run(self, approach: Approach | str = Approach.AID) -> SessionReport:

@@ -34,6 +34,14 @@ from .faults import (
     SerializeMethods,
 )
 from .program import MethodFn, Program, SimContext
+from .schedule import (
+    RandomStrategy,
+    ReplayStrategy,
+    Schedule,
+    ScheduleError,
+    SchedulePoint,
+    SchedulerStrategy,
+)
 from .scheduler import DEFAULT_MAX_STEPS, Simulator, run_program
 from .serialize import (
     ImportedTrace,
@@ -75,6 +83,12 @@ __all__ = [
     "MethodKey",
     "MethodSelector",
     "Program",
+    "RandomStrategy",
+    "ReplayStrategy",
+    "Schedule",
+    "ScheduleError",
+    "SchedulePoint",
+    "SchedulerStrategy",
     "SerializeMethods",
     "SimContext",
     "SimHarnessError",

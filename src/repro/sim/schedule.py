@@ -1,0 +1,242 @@
+"""Scheduling strategies and first-class recorded schedules.
+
+Role
+----
+The simulator's *only* nondeterminism is which ready thread runs next.
+This module names that choice: every decision flows through a
+:class:`SchedulerStrategy` (ready-set in, chosen thread out), and every
+execution records its full decision list as a :class:`Schedule` — a
+serializable, content-addressed artifact that replays deterministically
+via :class:`ReplayStrategy`.
+
+That seam is what makes schedule-space exploration possible
+(:mod:`repro.explore`): systematic strategies (PCT, delay bounding)
+plug in where the seeded-uniform picker used to be hard-wired, and any
+failing interleaving a fuzzer finds is reproducible from its recorded
+schedule alone.
+
+Invariants
+----------
+* :class:`RandomStrategy` consumes its RNG exactly like the historical
+  in-line ``rng.choice`` did, so every existing
+  ``(program, interventions, seed)`` triple produces a byte-identical
+  trace (asserted against golden fixtures);
+* a strategy must return a member of ``point.candidates`` — the
+  simulator rejects anything else with a :class:`ScheduleError`;
+* ``Schedule.from_dict(s.to_dict()) == s`` and replaying a schedule
+  under the same ``(program, interventions, seed)`` reproduces the
+  recording's trace byte-for-byte (asserted in tests);
+* :meth:`Schedule.signature` identifies the *interleaving* (program +
+  decision sequence), deliberately excluding the seed: two seeds that
+  induce the same decisions are the same schedule.
+
+Persistence: one JSON document per schedule
+(:meth:`Schedule.save`/:meth:`Schedule.load`), schema-versioned like
+trace files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Optional, Protocol, runtime_checkable
+
+from .serialize import stable_digest
+
+SCHEDULE_SCHEMA_VERSION = 1
+
+
+class ScheduleError(ValueError):
+    """A schedule document or strategy decision is unusable."""
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    """One scheduling decision: who may run now.
+
+    ``candidates`` is the ready set in canonical order (by thread spawn
+    order), ``index`` is the 0-based position of this decision in the
+    execution, and ``time`` is the virtual instant the chosen action
+    will execute at.
+    """
+
+    index: int
+    time: int
+    candidates: tuple[str, ...]
+
+
+@runtime_checkable
+class SchedulerStrategy(Protocol):
+    """Ready-set in, chosen thread out — the simulator's one seam."""
+
+    def choose(self, point: SchedulePoint) -> str:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class RandomStrategy:
+    """The status-quo picker: seeded uniform choice among the ready set.
+
+    Draws exactly one ``Random.choice`` per decision — including
+    singleton ready sets — which is precisely what the historical
+    in-line scheduler RNG did, so the default path stays byte-identical.
+    """
+
+    seed: int
+    rng: Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = Random(self.seed)
+
+    def choose(self, point: SchedulePoint) -> str:
+        return self.rng.choice(point.candidates)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A recorded decision list: the reproducible identity of one
+    interleaving of ``program``.
+
+    ``decisions[i]`` is the thread chosen at the execution's *i*-th
+    scheduling point.  ``seed`` is the simulator seed the recording ran
+    under — replaying requires the same seed (fault draws and the trace
+    header read it) plus the same program and interventions.
+    """
+
+    program: str
+    seed: int
+    decisions: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.decisions, tuple):
+            object.__setattr__(self, "decisions", tuple(self.decisions))
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def signature(self) -> str:
+        """Content address of the *interleaving* (seed excluded): the
+        same fingerprint scheme every other repro artifact uses."""
+        return stable_digest(
+            {"program": self.program, "decisions": list(self.decisions)}
+        )
+
+    def transitions(self) -> frozenset[tuple[str, str]]:
+        """The thread-handoff edges this schedule exercised — the
+        coverage alphabet :mod:`repro.explore` deduplicates against.
+        Includes the virtual start edge ``("", first)``."""
+        edges = set()
+        prev = ""
+        for chosen in self.decisions:
+            edges.add((prev, chosen))
+            prev = chosen
+        return frozenset(edges)
+
+    def truncate(self, length: int) -> "Schedule":
+        """The first ``length`` decisions (mutation prefixes)."""
+        return Schedule(
+            program=self.program,
+            seed=self.seed,
+            decisions=self.decisions[:length],
+        )
+
+    # -- (de)serialization ------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEDULE_SCHEMA_VERSION,
+            "program": self.program,
+            "seed": self.seed,
+            "decisions": list(self.decisions),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Schedule":
+        if not isinstance(payload, dict):
+            raise ScheduleError(
+                f"expected a schedule object, got {type(payload).__name__}"
+            )
+        if payload.get("schema") != SCHEDULE_SCHEMA_VERSION:
+            raise ScheduleError(
+                f"unsupported schedule schema {payload.get('schema')!r} "
+                f"(this build reads version {SCHEDULE_SCHEMA_VERSION})"
+            )
+        decisions = payload.get("decisions")
+        if not isinstance(decisions, list) or not all(
+            isinstance(d, str) for d in decisions
+        ):
+            raise ScheduleError("schedule decisions must be a list of "
+                                "thread names")
+        return cls(
+            program=payload["program"],
+            seed=payload["seed"],
+            decisions=tuple(decisions),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScheduleError(f"not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Schedule":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ScheduleError(f"cannot read {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    def save(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+
+@dataclass
+class ReplayStrategy:
+    """Deterministic replay of a recorded :class:`Schedule`.
+
+    Replays ``schedule.decisions`` verbatim (optionally only the first
+    ``prefix`` of them), then hands any remaining decisions to ``tail``
+    (default: the first candidate in canonical order).  A recorded
+    decision whose thread is not in the ready set — or an execution
+    that outlives a full-length recording — marks the replay
+    ``diverged``: the program or interventions no longer match the
+    recording.
+    """
+
+    schedule: Schedule
+    #: replay only the first N decisions (``None`` = all) — the
+    #: exploration driver's mutation operator: frozen prefix, novel tail
+    prefix: Optional[int] = None
+    #: strategy for decisions past the replayed prefix
+    tail: Optional[SchedulerStrategy] = None
+    diverged: bool = field(default=False, init=False)
+    replayed: int = field(default=0, init=False)
+
+    def choose(self, point: SchedulePoint) -> str:
+        limit = len(self.schedule.decisions)
+        if self.prefix is not None:
+            limit = min(limit, self.prefix)
+        if point.index < limit:
+            wanted = self.schedule.decisions[point.index]
+            if wanted in point.candidates:
+                self.replayed += 1
+                return wanted
+            self.diverged = True
+        elif self.prefix is None:
+            # A pure replay should end exactly when the recording does.
+            self.diverged = True
+        if self.tail is not None:
+            return self.tail.choose(point)
+        return point.candidates[0]

@@ -4,15 +4,20 @@ Threads are cooperative generators.  Execution is *duration-aware*:
 every primitive action stamps its effects at the current virtual time
 and then keeps its thread busy for the action's cost, so a thread inside
 ``work(200)`` genuinely lets other threads run for 200 ticks — exactly
-like a real sleeping/computing thread.  At each step the scheduler picks
-uniformly at random (seeded RNG) among the threads that are ready *now*;
-when none are, virtual time jumps to the next ready instant.
+like a real sleeping/computing thread.  At each step the scheduler asks
+its :class:`~repro.sim.schedule.SchedulerStrategy` which of the
+threads that are ready *now* runs next (the default strategy picks
+uniformly at random from a seeded RNG); when none are ready, virtual
+time jumps to the next ready instant.
 
-The random tie-breaking among simultaneously-ready threads is the *only*
-source of nondeterminism in the simulator, so:
+The tie-breaking among simultaneously-ready threads is the *only*
+source of nondeterminism in the simulator, and every decision is
+recorded on the result as a replayable
+:class:`~repro.sim.schedule.Schedule`, so:
 
 * the same ``(program, interventions, seed)`` triple always reproduces
-  the identical trace — interventions are diffable;
+  the identical trace — interventions are diffable — and the same
+  ``(program, interventions, schedule)`` triple replays it exactly;
 * sweeping seeds reproduces the intermittent behaviour AID targets
   (some interleavings fail, most succeed — flaky by construction);
 * every executed action gets a distinct timestamp (the clock advances by
@@ -32,15 +37,21 @@ Failure modes recorded on the trace:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
 
 from .errors import SimulatedError
 from .faults import Intervention, InterventionSet
 from .program import Program, SimContext, SpawnAction, action_cost
 from .runtime import Blocked, Runtime
+from .schedule import (
+    RandomStrategy,
+    Schedule,
+    ScheduleError,
+    SchedulePoint,
+    SchedulerStrategy,
+)
 from .tracing import ExecutionResult, ExecutionTrace, FailureInfo
 
 DEFAULT_MAX_STEPS = 50_000
@@ -80,23 +91,41 @@ class Simulator:
     max_steps:
         Hang budget; exceeding it marks the execution as failed with the
         ``hang`` signature.
+    strategy_factory:
+        Builds the per-run :class:`~repro.sim.schedule.SchedulerStrategy`
+        from the seed.  ``None`` (the default) uses the historical
+        seeded-uniform :class:`~repro.sim.schedule.RandomStrategy` —
+        byte-identical traces for every existing
+        ``(program, interventions, seed)`` triple.
     """
 
     program: Program
     max_steps: int = DEFAULT_MAX_STEPS
+    strategy_factory: Optional[Callable[[int], SchedulerStrategy]] = None
     _spawn_counter: int = field(default=0, init=False, repr=False)
 
     def run(
         self,
         seed: int,
         interventions: tuple[Intervention, ...] | InterventionSet = (),
+        strategy: Optional[SchedulerStrategy] = None,
     ) -> ExecutionResult:
-        """Run one execution and return its trace."""
+        """Run one execution and return its trace.
+
+        ``strategy`` overrides the simulator's factory for this run
+        (replay and exploration drivers pass one explicitly).
+        """
         if not isinstance(interventions, InterventionSet):
             interventions = InterventionSet(tuple(interventions))
+        if strategy is None:
+            strategy = (
+                self.strategy_factory(seed)
+                if self.strategy_factory is not None
+                else RandomStrategy(seed)
+            )
         trace = ExecutionTrace(self.program.name, seed)
         runtime = Runtime(self.program, interventions, seed, trace)
-        rng = random.Random(seed)
+        decisions: list[str] = []
 
         threads: dict[str, _Thread] = {}
         spawn_order = 0
@@ -151,8 +180,8 @@ class Simulator:
                 break
             steps += 1
 
-            # Discrete-event step: one serialization tick, then run a
-            # random thread among those whose busy period has elapsed.
+            # Discrete-event step: one serialization tick, then run the
+            # strategy's pick among threads whose busy period elapsed.
             execute_at = runtime.clock.now + 1
             eligible = [t for t in runnable if t.ready_at <= execute_at]
             if not eligible:
@@ -161,7 +190,22 @@ class Simulator:
                 execute_at = runtime.clock.now + 1
                 eligible = [t for t in runnable if t.ready_at <= execute_at]
             runtime.clock.advance(1)
-            thread = rng.choice(sorted(eligible, key=lambda t: t.order))
+            candidates = sorted(eligible, key=lambda t: t.order)
+            point = SchedulePoint(
+                index=len(decisions),
+                time=execute_at,
+                candidates=tuple(t.name for t in candidates),
+            )
+            chosen = strategy.choose(point)
+            thread = next(
+                (t for t in candidates if t.name == chosen), None
+            )
+            if thread is None:
+                raise ScheduleError(
+                    f"strategy chose {chosen!r}, not in the ready set "
+                    f"{point.candidates} at decision {point.index}"
+                )
+            decisions.append(chosen)
             self._step(thread, threads, runtime, trace, start_thread)
 
         for t in threads.values():
@@ -169,7 +213,15 @@ class Simulator:
                 t.gen.close()
                 runtime.abort_thread_calls(t.name, "Unfinished")
         trace.end_time = runtime.clock.now
-        return ExecutionResult(trace=trace, steps=steps)
+        return ExecutionResult(
+            trace=trace,
+            steps=steps,
+            schedule=Schedule(
+                program=self.program.name,
+                seed=seed,
+                decisions=tuple(decisions),
+            ),
+        )
 
     # -- internals -------------------------------------------------------
 

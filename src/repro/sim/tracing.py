@@ -280,10 +280,16 @@ class ExecutionTrace:
 
 @dataclass
 class ExecutionResult:
-    """Outcome of one simulated execution."""
+    """Outcome of one simulated execution.
+
+    ``schedule`` is the recorded decision list
+    (:class:`repro.sim.schedule.Schedule`): replaying it under the same
+    ``(program, interventions, seed)`` reproduces ``trace`` exactly.
+    """
 
     trace: ExecutionTrace
     steps: int
+    schedule: Optional[object] = None
 
     @property
     def failed(self) -> bool:

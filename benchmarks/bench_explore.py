@@ -1,21 +1,31 @@
-"""Schedule-exploration strategies vs the random baseline, measured.
+"""Schedule-exploration strategies, wave parallelism, and pruning, measured.
 
-What the exploration tentpole promises, quantified on every registered
-workload: systematic strategies (PCT priority scheduling, delay-bounded
-scheduling) discover *more distinct failing interleavings* than naive
-random scheduling at the same execution budget.  Each cell runs the
-full coverage-guided driver (:class:`repro.explore.ExplorationDriver`)
-for ``BUDGET`` executions under one base strategy and counts distinct
-failing schedule signatures — the deduplication key the corpus uses —
-plus coverage edges and total distinct interleavings.  Every discovered
-failure is replay-verified (byte-identical trace digest) before it is
-counted; a run with an unverified replay fails the bench.
+Three claims of the exploration tentpoles, quantified on every
+registered workload:
 
-The headline assertion — enforced here and relied on by the CI
-``explore-smoke`` job — is that on at least ``MIN_WINS`` workloads some
-systematic variant strictly beats random at equal budget.  Everything
-is seeded (strategies, driver mutation, signatures), so the table and
-the assertion are deterministic for a given budget.
+1. **Systematic strategies beat random** (the original exploration
+   bench): PCT priority scheduling and delay-bounded scheduling find
+   *more distinct failing interleavings* than naive random scheduling
+   at the same execution budget.  Enforced: some systematic variant
+   strictly beats random on at least ``MIN_WINS`` workloads.
+2. **Waves parallelize without changing results**: the same budget is
+   re-run through the wave dispatcher at ``--jobs`` 1/2/4 (thread
+   backend), recording wall-clock executions/sec per (strategy, jobs)
+   cell.  Enforced: the result payload is byte-identical across job
+   counts — parallelism is a pure throughput knob.
+3. **Partial-order pruning cuts redundancy**: at equal budget, runs
+   with Mazurkiewicz-class pruning on vs off are compared by
+   *redundant executions per distinct canonical interleaving*
+   (``pruned_equivalent / distinct_canonical``).  Enforced (the perf
+   acceptance gate): either ≥2x executions/sec at ``--jobs 4`` (only
+   expected on multi-core hosts — ``cpu_count`` is recorded so the
+   number reads honestly) or a ≥20% aggregate redundancy reduction
+   from pruning.
+
+Every discovered failure is replay-verified (byte-identical trace
+digest) before it is counted; a run with an unverified replay fails
+the bench.  Everything is seeded, so the tables and assertions are
+deterministic for a given budget.
 
 The result lands in ``BENCH_explore.json`` (committed at the repo root
 and uploaded by CI)::
@@ -24,12 +34,17 @@ and uploaded by CI)::
       "workloads": {"npgsql": {"random": {...}, "pct_d5": {...}, ...}},
       "wins": {"npgsql": "pct_d10", ...},
       "superiority_count": ...,
+      "parallel": {"cells": [{"strategy": ..., "jobs": ...,
+                              "executions_per_sec": ...}, ...],
+                   "payload_identical_across_jobs": true,
+                   "speedup_jobs4": ...},
+      "pruning": {"cells": [...], "aggregate": {...}},
       "budget": ..., "cpu_count": ...,
     }
 
 Run:  PYTHONPATH=src python benchmarks/bench_explore.py
 Env:  REPRO_EXPLORE_BUDGET to override the per-cell budget (the
-      superiority assertion is calibrated at the default).
+      superiority and pruning assertions are calibrated at the default).
 """
 
 from __future__ import annotations
@@ -45,6 +60,12 @@ from repro.workloads.common import REGISTRY
 
 BUDGET = int(os.environ.get("REPRO_EXPLORE_BUDGET", "80"))
 MIN_WINS = 2
+#: acceptance floor: aggregate reduction in redundant executions per
+#: distinct canonical interleaving from partial-order pruning
+MIN_PRUNING_REDUCTION = 0.20
+#: acceptance floor for the multi-core alternative: wave throughput at
+#: --jobs 4 over --jobs 1
+MIN_SPEEDUP_JOBS4 = 2.0
 
 # One random baseline, three systematic contenders.  The variants are
 # fixed here — per-workload parameter tuning would make "beats random"
@@ -56,6 +77,20 @@ VARIANTS = (
     ("pct_d10", "pct", {"depth": 10}),
     ("delay_k2", "delay", {"delays": 2}),
 )
+
+#: (strategy label, jobs) grid for the wave-throughput table
+PARALLEL_STRATEGIES = ("random", "pct_d3")
+PARALLEL_JOBS = (1, 2, 4)
+
+#: strategies compared for the pruning on/off redundancy table
+PRUNING_STRATEGIES = ("random", "pct_d3")
+
+
+def _variant(label: str) -> tuple[str, dict]:
+    for name, strategy, params in VARIANTS:
+        if name == label:
+            return strategy, params
+    raise KeyError(label)
 
 
 def bench_cell(program, strategy: str, params: dict) -> dict:
@@ -72,6 +107,8 @@ def bench_cell(program, strategy: str, params: dict) -> dict:
     return {
         "distinct_failing_signatures": result.distinct_failing_signatures,
         "distinct_signatures": result.distinct_signatures,
+        "distinct_canonical": result.distinct_canonical,
+        "pruned_equivalent": result.pruned_equivalent,
         "coverage_edges": result.coverage_edges,
         "executions": result.executions,
         "n_failed": result.n_failed,
@@ -80,14 +117,123 @@ def bench_cell(program, strategy: str, params: dict) -> dict:
     }
 
 
+def bench_parallel(programs) -> dict:
+    """Wave throughput per (strategy, jobs), plus the identity check."""
+    cells = []
+    identical = True
+    for label in PARALLEL_STRATEGIES:
+        strategy, params = _variant(label)
+        for jobs in PARALLEL_JOBS:
+            started = time.perf_counter()
+            payloads = []
+            executions = 0
+            for program in programs:
+                result = explore(
+                    program,
+                    ExploreConfig(
+                        budget=BUDGET,
+                        strategy=strategy,
+                        strategy_params=params,
+                        jobs=jobs,
+                        backend="thread" if jobs > 1 else None,
+                    ),
+                )
+                executions += result.executions
+                payloads.append(
+                    json.dumps(result.to_dict(), sort_keys=True)
+                )
+            elapsed = time.perf_counter() - started
+            cells.append(
+                {
+                    "strategy": label,
+                    "jobs": jobs,
+                    "executions": executions,
+                    "seconds": elapsed,
+                    "executions_per_sec": executions / elapsed,
+                    "payloads": payloads,  # stripped before writing
+                }
+            )
+    # payloads must be byte-identical across job counts per strategy
+    for label in PARALLEL_STRATEGIES:
+        rows = [c for c in cells if c["strategy"] == label]
+        identical &= all(r["payloads"] == rows[0]["payloads"] for r in rows)
+    for cell in cells:
+        del cell["payloads"]
+    by_jobs = {
+        (c["strategy"], c["jobs"]): c["executions_per_sec"] for c in cells
+    }
+    speedups = [
+        by_jobs[(label, 4)] / by_jobs[(label, 1)]
+        for label in PARALLEL_STRATEGIES
+    ]
+    return {
+        "cells": cells,
+        "payload_identical_across_jobs": identical,
+        "speedup_jobs4": max(speedups),
+    }
+
+
+def bench_pruning(programs) -> dict:
+    """Redundancy per distinct canonical class, pruning on vs off."""
+    cells = []
+    totals = {True: [0, 0], False: [0, 0]}  # [distinct, pruned]
+    for program in programs:
+        for label in PRUNING_STRATEGIES:
+            strategy, params = _variant(label)
+            row = {"workload": program.name, "strategy": label}
+            for on in (False, True):
+                result = explore(
+                    program,
+                    ExploreConfig(
+                        budget=BUDGET,
+                        strategy=strategy,
+                        strategy_params=params,
+                        partial_order=on,
+                    ),
+                )
+                key = "on" if on else "off"
+                row[f"distinct_canonical_{key}"] = result.distinct_canonical
+                row[f"pruned_equivalent_{key}"] = result.pruned_equivalent
+                totals[on][0] += result.distinct_canonical
+                totals[on][1] += result.pruned_equivalent
+            off_red = (
+                row["pruned_equivalent_off"] / row["distinct_canonical_off"]
+            )
+            on_red = (
+                row["pruned_equivalent_on"] / row["distinct_canonical_on"]
+            )
+            row["redundancy_off"] = off_red
+            row["redundancy_on"] = on_red
+            row["reduction"] = (
+                (off_red - on_red) / off_red if off_red else 0.0
+            )
+            cells.append(row)
+    off = totals[False][1] / totals[False][0]
+    on = totals[True][1] / totals[True][0]
+    return {
+        "cells": cells,
+        "aggregate": {
+            "redundancy_off": off,
+            "redundancy_on": on,
+            "reduction": (off - on) / off,
+            "metric": (
+                "pruned_equivalent / distinct_canonical at equal budget"
+            ),
+        },
+    }
+
+
 def main() -> int:
-    workloads: dict[str, dict] = {}
-    for name in REGISTRY.names():
-        program = REGISTRY.build(name).program
-        workloads[name] = {
-            label: bench_cell(program, strategy, params)
+    programs = [
+        REGISTRY.build(name).program for name in REGISTRY.names()
+    ]
+    workloads = {
+        name: {
+            label: bench_cell(REGISTRY.build(name).program, strategy, params)
             for label, strategy, params in VARIANTS
         }
+        for name in REGISTRY.names()
+    }
 
     wins: dict[str, str] = {}
     for name, cells in workloads.items():
@@ -103,6 +249,9 @@ def main() -> int:
         if best > baseline:
             wins[name] = best_label
 
+    parallel = bench_parallel(programs)
+    pruning = bench_pruning(programs)
+
     payload = {
         "workloads": workloads,
         "wins": wins,
@@ -113,6 +262,8 @@ def main() -> int:
             {"label": label, "strategy": strategy, "params": params}
             for label, strategy, params in VARIANTS
         ],
+        "parallel": parallel,
+        "pruning": pruning,
         "cpu_count": os.cpu_count(),
     }
     out = Path("BENCH_explore.json")
@@ -134,11 +285,42 @@ def main() -> int:
         f"{len(workloads)} workloads at budget {BUDGET} "
         f"(floor {MIN_WINS}, cpu_count {os.cpu_count()})"
     )
+    print(f"\n{'strategy':10s}{'jobs':>6s}{'exec/s':>10s}")
+    for cell in parallel["cells"]:
+        print(
+            f"{cell['strategy']:10s}{cell['jobs']:>6d}"
+            f"{cell['executions_per_sec']:>10.1f}"
+        )
+    print(
+        f"payload identical across jobs: "
+        f"{parallel['payload_identical_across_jobs']}, "
+        f"speedup at jobs=4: {parallel['speedup_jobs4']:.2f}x"
+    )
+    agg = pruning["aggregate"]
+    print(
+        f"\npartial-order pruning: redundancy per distinct class "
+        f"{agg['redundancy_off']:.2f} -> {agg['redundancy_on']:.2f} "
+        f"({agg['reduction'] * 100:+.1f}% reduction)"
+    )
     print(f"wrote {out.resolve()}")
 
     assert len(wins) >= MIN_WINS, (
         f"expected pct or delay to strictly beat random on at least "
         f"{MIN_WINS} workloads, got {len(wins)}: {wins}"
+    )
+    assert parallel["payload_identical_across_jobs"], (
+        "wave dispatch changed the result payload across job counts"
+    )
+    # The perf acceptance gate: parallel speedup where the host has the
+    # cores for it, otherwise the pruning redundancy reduction.
+    speedup_ok = parallel["speedup_jobs4"] >= MIN_SPEEDUP_JOBS4
+    pruning_ok = agg["reduction"] >= MIN_PRUNING_REDUCTION
+    assert speedup_ok or pruning_ok, (
+        f"neither acceptance branch met: speedup at jobs=4 "
+        f"{parallel['speedup_jobs4']:.2f}x (floor {MIN_SPEEDUP_JOBS4}x, "
+        f"cpu_count {os.cpu_count()}) and pruning reduction "
+        f"{agg['reduction'] * 100:.1f}% "
+        f"(floor {MIN_PRUNING_REDUCTION * 100:.0f}%)"
     )
     return 0
 

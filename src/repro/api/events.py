@@ -193,6 +193,23 @@ class NovelCoverage(Event):
 
 
 @dataclass(frozen=True)
+class EquivalentPruned(Event):
+    """An execution landed in an already-seen Mazurkiewicz class.
+
+    Partial-order pruning detected that the interleaving commutes
+    (adjacent independent decisions only) with one explored earlier, so
+    the driver withholds mutation energy from it — the schedule earns
+    no frontier slot and no pass-ingestion, though novel *failures*
+    are still recorded by exact signature.
+    """
+
+    kind: ClassVar[str] = "equivalent-pruned"
+    signature: str  # exact schedule signature of this execution
+    canonical: str  # the equivalence class both schedules share
+    occurrences: int  # executions seen in this class so far (>= 2)
+
+
+@dataclass(frozen=True)
 class FailureFound(Event):
     """An exploration execution failed with a novel schedule."""
 
@@ -225,6 +242,11 @@ class ExplorationFinished(Event):
     distinct_signatures: int
     distinct_failing_signatures: int
     coverage_edges: int
+    #: distinct Mazurkiewicz classes among the executions (defaults
+    #: keep pre-pruning run logs reconstructible)
+    distinct_canonical: int = 0
+    #: executions whose class had already been explored
+    pruned_equivalent: int = 0
 
 
 @dataclass(frozen=True)

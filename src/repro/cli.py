@@ -408,6 +408,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         strategy_params=params,
         start_seed=start_seed or 0,
         schedule_dir=args.schedule_dir,
+        wave=args.wave,
+        jobs=args.jobs,
+        backend=args.backend,
+        partial_order=not args.no_partial_order,
         **({"max_steps": max_steps} if max_steps is not None else {}),
     )
     try:
@@ -436,6 +440,12 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         f"failures : {result.n_failed} failing executions, "
         f"{result.distinct_failing_signatures} distinct failing schedules"
     )
+    if result.partial_order:
+        print(
+            f"pruning  : {result.distinct_canonical} equivalence "
+            f"classes, {result.pruned_equivalent} equivalent "
+            f"executions pruned from the search"
+        )
     for failure in result.failures:
         verified = (
             "replay ok"
@@ -933,6 +943,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="first execution seed (default 0, or the spec's "
         "collection.start_seed)",
+    )
+    explore.add_argument(
+        "--wave", type=int, default=16, metavar="N",
+        help="executions planned per dispatch wave (default 16); a "
+        "search knob, fixed independently of --jobs so results never "
+        "depend on the parallelism",
+    )
+    explore.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker count for wave execution (default 1); a pure "
+        "throughput knob — the payload is byte-identical for any value",
+    )
+    explore.add_argument(
+        "--backend", default=None,
+        choices=("serial", "thread", "process"),
+        help="execution backend (default: serial when --jobs 1, "
+        "threads otherwise); never affects the payload",
+    )
+    explore.add_argument(
+        "--no-partial-order", action="store_true",
+        help="disable Mazurkiewicz-class pruning: dedupe frontier "
+        "admission, mutation energy, and pass-ingestion by exact "
+        "interleaving instead of equivalence class",
     )
     explore.add_argument(
         "--json", action="store_true",

@@ -45,7 +45,7 @@ from .matrix import (
     merge_matrices,
     split_matrix,
 )
-from .pipeline import IncrementalPipeline, IngestResult
+from .pipeline import BatchIngestResult, IncrementalPipeline, IngestResult
 from .session import CorpusSession
 from .store import CorpusError, TraceEntry, TraceStore
 
@@ -57,6 +57,7 @@ __all__ = [
     "CorpusSession",
     "EvalMatrix",
     "IncrementalPipeline",
+    "BatchIngestResult",
     "IngestResult",
     "ShardEvaluation",
     "ShardTable",

@@ -91,6 +91,28 @@ class IngestResult:
     removed_pids: frozenset[str] = frozenset()
 
 
+@dataclass
+class BatchIngestResult:
+    """What one batched ingestion did: per-trace outcomes (submission
+    order) plus the aggregate view damage.
+
+    Per-trace ``removed_pids`` attribution is finer in sequential
+    ingestion (each trace sees the views exactly as it found them);
+    a batch defers the fully-set diff and the final DAG restriction to
+    the end, so cross-trace casualties surface only in the aggregate
+    ``removed_pids`` here.  The *final* maintained state is identical
+    either way (asserted in tests).
+    """
+
+    results: list[IngestResult]
+    #: union of every pid that left the FD set / the DAG in this batch
+    removed_pids: frozenset[str] = frozenset()
+
+    @property
+    def n_added(self) -> int:
+        return sum(1 for r in self.results if r.added)
+
+
 class IncrementalPipeline:
     """Maintains suite evaluation, SD counts, and the AC-DAG over a store."""
 
@@ -396,6 +418,125 @@ class IncrementalPipeline:
                 DagPatched(fingerprint=fp, removed_pids=result.removed_pids)
             )
         return result
+
+    # -- batched ingestion -----------------------------------------------
+
+    def ingest_batch(
+        self,
+        traces: Sequence,
+        schedule_signatures: Optional[Sequence[Optional[str]]] = None,
+        save: bool = False,
+    ) -> BatchIngestResult:
+        """Ingest one wave of traces with a single view update.
+
+        Every trace is stored (and deduplicated / signature-filtered)
+        exactly as :meth:`ingest` would, but the maintained views are
+        patched once for the whole batch: all logs join the SD counters
+        first, the fully-discriminative set is re-derived once, each
+        failed log patches the AC-DAG in submission order, and one final
+        restriction drops whatever left the FD set.  With ``save=True``
+        the store manifests and matrix shards are written once at the
+        end — one fsync per wave instead of per trace.
+
+        The final pipeline state is byte-identical to calling
+        :meth:`ingest` per trace in the same order (asserted in tests);
+        only per-trace ``removed_pids`` attribution is coarser — see
+        :class:`BatchIngestResult`.
+        """
+        if not self.bootstrapped:
+            raise CorpusError("bootstrap() the pipeline before ingesting")
+        traces = list(traces)
+        if schedule_signatures is None:
+            schedule_signatures = [None] * len(traces)
+        else:
+            schedule_signatures = list(schedule_signatures)
+            if len(schedule_signatures) != len(traces):
+                raise ValueError(
+                    f"{len(traces)} traces but "
+                    f"{len(schedule_signatures)} schedule signatures"
+                )
+        with self._span("ingest-batch"):
+            batch = self._ingest_batch(traces, schedule_signatures)
+        if save:
+            self.save()
+        return batch
+
+    def _ingest_batch(
+        self, traces: Sequence, schedule_signatures: Sequence[Optional[str]]
+    ) -> BatchIngestResult:
+        results: list[Optional[IngestResult]] = [None] * len(traces)
+        analyzable: list[tuple[int, str, object, bool]] = []
+        for slot, (trace, sched_sig) in enumerate(
+            zip(traces, schedule_signatures)
+        ):
+            fp, added = self.store.ingest(
+                trace, schedule_signature=sched_sig
+            )
+            failed = trace.failed
+            if not added:
+                results[slot] = IngestResult(
+                    fingerprint=fp, added=False, failed=failed
+                )
+                continue
+            signature = (
+                trace.failure.signature
+                if trace.failure is not None
+                else None
+            )
+            if failed and signature != self.signature:
+                results[slot] = IngestResult(
+                    fingerprint=fp, added=True, failed=True, skipped=True
+                )
+                continue
+            if getattr(trace, "fingerprint", None) is None:
+                trace = self.store.load(fp)
+            analyzable.append((slot, fp, trace, failed))
+        if not analyzable:
+            return BatchIngestResult(
+                results=results  # type: ignore[arg-type]
+            )
+
+        # One counter update for the whole wave...
+        batch_logs: list[PredicateLog] = []
+        for slot, fp, trace, failed in analyzable:
+            log = self.matrix.log_for(self.suite, trace)
+            self.logs.append(log)
+            self.debugger.add(log)
+            batch_logs.append(log)
+        # ...one FD-set derivation...
+        new_fully = self._derive_fully()
+        removed = set(self.fully) - set(new_fully)
+        self.fully = new_fully
+        # ...each failed log patches the DAG in submission order...
+        per_slot: dict[int, frozenset[str]] = {}
+        for (slot, fp, trace, failed), log in zip(analyzable, batch_logs):
+            if failed:
+                dropped = self.dag.update_failed_log(log, policy=self.policy)
+                per_slot[slot] = frozenset(dropped)
+                removed |= dropped
+        # ...and one restriction to the batch-final FD set.
+        removed |= self.dag.restrict_to(set(new_fully) | {self.failure_pid})
+        for slot, fp, trace, failed in analyzable:
+            results[slot] = IngestResult(
+                fingerprint=fp,
+                added=True,
+                failed=failed,
+                removed_pids=per_slot.get(slot, frozenset()),
+            )
+        if self.bus is not None:
+            from ..api.events import DagPatched
+
+            for slot, fp, trace, failed in analyzable:
+                self._emit(
+                    DagPatched(
+                        fingerprint=fp,
+                        removed_pids=per_slot.get(slot, frozenset()),
+                    )
+                )
+        return BatchIngestResult(
+            results=results,  # type: ignore[arg-type]
+            removed_pids=frozenset(removed),
+        )
 
     # -- the from-scratch fallback --------------------------------------
 

@@ -208,6 +208,23 @@ class ExecutionEngine:
         #: the open per-round span: (phase, index, perf_counter at open)
         self._open_round: Optional[tuple[str, int, float]] = None
 
+    @classmethod
+    def from_options(
+        cls,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        cache: Optional[OutcomeCache] = None,
+        bus: Optional["EventBus"] = None,
+    ) -> "ExecutionEngine":
+        """An engine with its backend resolved from CLI-ish inputs
+        (``--jobs`` / ``--backend``), via
+        :func:`~repro.exec.backends.make_backend`."""
+        from .backends import make_backend
+
+        return cls(
+            backend=make_backend(backend, jobs), cache=cache, bus=bus
+        )
+
     # -- the API runners use --------------------------------------------
 
     def run_group(

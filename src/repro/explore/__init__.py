@@ -20,6 +20,8 @@ from .driver import (
     ExplorationResult,
     ExploreConfig,
     FoundFailure,
+    WaveObservation,
+    WavePlan,
     explore,
 )
 from .strategies import DEFAULT_HORIZON, DelayStrategy, PCTStrategy
@@ -33,5 +35,7 @@ __all__ = [
     "ExploreConfig",
     "FoundFailure",
     "PCTStrategy",
+    "WaveObservation",
+    "WavePlan",
     "explore",
 ]

@@ -1,4 +1,4 @@
-"""Coverage-guided schedule-space exploration over one program.
+"""Coverage-guided, wave-parallel schedule-space exploration.
 
 Role
 ----
@@ -16,6 +16,38 @@ Every novel failing interleaving becomes two durable artifacts:
 * its recorded :class:`~repro.sim.schedule.Schedule`, replay-verified
   on the spot and optionally saved to disk — the reproducer.
 
+Waves
+-----
+Executions dispatch in *waves* of ``config.wave`` plans through an
+:class:`~repro.exec.engine.ExecutionEngine`, so ``--jobs N`` fans the
+simulator across threads or forked processes.  Determinism survives
+parallelism because the protocol is plan-ahead/observe-in-order:
+
+* every random draw (mutate-or-fresh, parent pick, prefix cut) happens
+  in the parent *while planning the wave*, before anything runs;
+* a plan is a picklable spec — a registered strategy name rebuilt from
+  ``(name, params, seed)`` in the worker, or a recorded
+  :class:`~repro.sim.schedule.Schedule` plus prefix cut and tail seed;
+* the backend's ``map`` is order-preserving, and observations are
+  applied strictly in submission order.
+
+The wave size is a fixed config value, *independent of the job count*,
+so planning boundaries (and therefore mutation parents) are identical
+whatever the parallelism — the result payload is byte-identical across
+``--jobs 1`` / ``--jobs 8`` and across backends (asserted in tests).
+
+Partial-order pruning
+---------------------
+Each execution also gets a *canonical* signature
+(:meth:`~repro.sim.schedule.Schedule.canonical_signature`): the normal
+form of its Mazurkiewicz equivalence class, where adjacent decisions of
+threads touching disjoint resources commute.  Search state dedupes by
+class — an execution whose class was already explored earns no frontier
+slot, no mutation energy, and no pass-ingestion (surfaced as
+``pruned_equivalent`` in the payload and ``equivalent-pruned`` events).
+Failures are *never* pruned: they stay keyed by exact signature, since
+commuting decisions can still shift virtual timestamps.
+
 Coverage signal
 ---------------
 An execution's coverage is its set of thread-handoff edges
@@ -23,22 +55,28 @@ An execution's coverage is its set of thread-handoff edges
 The alphabet is tiny and saturates fast on small programs — exactly the
 property a frontier needs: once edges stop appearing, mutation energy
 concentrates on reorderings of known edges, which is where the
-signature (full decision sequence) keeps discriminating.
+canonical signature keeps discriminating.
 
 Invariants
 ----------
-* a driver run is a pure function of ``(config, program)``: all
-  randomness flows from ``Random(config.start_seed)`` and the
-  per-execution seeds ``start_seed + i`` (asserted in tests);
+* a driver run is a pure function of ``(config, program)`` *minus* the
+  ``jobs``/``backend`` knobs: all randomness flows from
+  ``Random(config.start_seed)`` and the per-execution seeds
+  ``start_seed + i`` (asserted in tests);
 * observers never affect results — events mirror state changes that
   already happened (the :mod:`repro.api.events` contract);
 * every reported failure's schedule replays to the recorded trace
   fingerprint when ``verify_replays`` is on (asserted per failure and
-  surfaced per-failure in the result payload).
+  surfaced per-failure in the result payload);
+* corpus ingestion is batched per wave
+  (:meth:`~repro.corpus.pipeline.IncrementalPipeline.ingest_batch`) —
+  one counter update, one FD derivation, one DAG restriction per wave,
+  byte-identical to per-trace ingestion.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from random import Random
@@ -54,12 +92,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.program import Program
 
 #: version of the ``repro explore --json`` payload
-EXPLORE_SCHEMA_VERSION = 1
+EXPLORE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class ExploreConfig:
-    """Knobs for one exploration run."""
+    """Knobs for one exploration run.
+
+    ``jobs`` and ``backend`` are *throughput* knobs: they change
+    wall-clock time only, never the result payload.  ``wave`` and
+    ``partial_order`` are *search* knobs and do shape the result.
+    """
 
     #: total executions to spend
     budget: int = 200
@@ -85,6 +128,124 @@ class ExploreConfig:
     #: directory to save one ``<signature>.json`` schedule per novel
     #: failure (``None`` = keep schedules in memory only)
     schedule_dir: Optional[str] = None
+    #: executions planned per dispatch wave — fixed and independent of
+    #: ``jobs``, so planning boundaries (and results) never depend on
+    #: the parallelism
+    wave: int = 16
+    #: worker count for the execution backend (1 = serial)
+    jobs: int = 1
+    #: backend name (``None``: serial when ``jobs <= 1``, else threads)
+    backend: Optional[str] = None
+    #: dedupe frontier admission, mutation energy, and pass-ingestion
+    #: by Mazurkiewicz equivalence class instead of exact interleaving
+    partial_order: bool = True
+
+
+@dataclass(frozen=True)
+class WavePlan:
+    """One planned execution: everything a worker needs, picklable.
+
+    Fresh runs rebuild their strategy from the driver's registered
+    ``(strategy, params)`` and this plan's seed; mutations carry the
+    recorded parent :class:`~repro.sim.schedule.Schedule`, the prefix
+    cut, and the tail seed.  All RNG draws happened at planning time.
+    """
+
+    index: int
+    seed: int
+    mutated: bool
+    parent: Optional[Schedule] = None
+    prefix: Optional[int] = None
+    tail_seed: Optional[int] = None
+    #: directed mutation: the candidate the worker must schedule at
+    #: decision ``prefix`` instead of the parent's recorded choice
+    #: (None = plain prefix-cut mutation with a random tail)
+    force: Optional[str] = None
+
+
+@dataclass
+class WaveObservation:
+    """What one worker saw: the picklable result of executing a plan."""
+
+    index: int
+    seed: int
+    mutated: bool
+    diverged: bool
+    trace: object  # ExecutionTrace (plain data, picklable)
+    schedule: Schedule
+    footprints: tuple
+    #: decision indices where more than one thread was ready — the
+    #: branch points directed mutation can flip
+    branches: tuple = ()
+
+
+class _BranchRecorder:
+    """Strategy wrapper that notes every decision index with more than
+    one ready thread (and who was ready) — the branch points directed
+    mutation can flip.  Purely observational: the inner strategy's
+    choices pass through untouched, so recorded schedules and traces
+    are unaffected."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.branches: list[tuple[int, tuple[str, ...]]] = []
+
+    def choose(self, point) -> str:
+        if len(point.candidates) > 1:
+            self.branches.append((point.index, tuple(point.candidates)))
+        return self.inner.choose(point)
+
+
+def relevant_flips(
+    decisions, footprints, branches
+) -> tuple[tuple[int, str], ...]:
+    """The dependence-relevant backtrack points of one execution.
+
+    For each recorded branch ``(b, candidates)`` and each candidate
+    ``c`` the schedule did *not* take there, flipping the decision to
+    ``c`` hoists ``c``'s next action from its later slot ``j`` across
+    decisions ``b..j-1``.  By Mazurkiewicz equivalence that lands in a
+    *different* class only if the hoisted action conflicts with (or is
+    ordered by a barrier against) something it crosses — otherwise the
+    flip merely commutes independent decisions and re-executes the
+    same class.  This is the DPOR backtrack-set computation, applied
+    as a mutation filter: only class-changing flips are worth budget.
+
+    A candidate that never ran again is kept unconditionally — its
+    behavior past ``b`` is entirely unobserved.
+    """
+    from ..sim.schedule import footprints_conflict
+
+    flips: list[tuple[int, str]] = []
+    if len(footprints) != len(decisions):
+        # No independence information (e.g. a replayed schedule from
+        # disk): every flip is potentially relevant.
+        return tuple(
+            (b, c)
+            for b, candidates in branches
+            for c in candidates
+            if c != decisions[b]
+        )
+    n = len(decisions)
+    for b, candidates in branches:
+        chosen = decisions[b]
+        for c in candidates:
+            if c == chosen:
+                continue
+            j = next(
+                (k for k in range(b + 1, n) if decisions[k] == c), None
+            )
+            if j is None:
+                flips.append((b, c))
+                continue
+            if any(
+                footprints_conflict(footprints[j], footprints[k])
+                or ("*", True) in footprints[j]
+                or ("*", True) in footprints[k]
+                for k in range(b, j)
+            ):
+                flips.append((b, c))
+    return tuple(flips)
 
 
 @dataclass
@@ -113,15 +274,25 @@ class FoundFailure:
 
 @dataclass
 class ExplorationResult:
-    """Everything one exploration run learned."""
+    """Everything one exploration run learned.
+
+    Deliberately excludes ``jobs``/``backend``: the payload must be
+    byte-identical whatever the parallelism.
+    """
 
     program: str
     strategy: str
     budget: int
+    wave: int = 0
+    partial_order: bool = True
     executions: int = 0
     n_failed: int = 0
     distinct_signatures: int = 0
     distinct_failing_signatures: int = 0
+    #: distinct Mazurkiewicz classes among the executions
+    distinct_canonical: int = 0
+    #: executions whose equivalence class had already been explored
+    pruned_equivalent: int = 0
     coverage_edges: int = 0
     frontier_size: int = 0
     ingested_pass: int = 0
@@ -142,10 +313,14 @@ class ExplorationResult:
             "program": self.program,
             "strategy": self.strategy,
             "budget": self.budget,
+            "wave": self.wave,
+            "partial_order": self.partial_order,
             "executions": self.executions,
             "n_failed": self.n_failed,
             "distinct_signatures": self.distinct_signatures,
             "distinct_failing_signatures": self.distinct_failing_signatures,
+            "distinct_canonical": self.distinct_canonical,
+            "pruned_equivalent": self.pruned_equivalent,
             "coverage_edges": self.coverage_edges,
             "frontier_size": self.frontier_size,
             "ingested": {
@@ -159,14 +334,15 @@ class ExplorationResult:
 
 
 class ExplorationDriver:
-    """The coverage-guided exploration loop (see the module docstring).
+    """The wave-parallel exploration loop (see the module docstring).
 
     ``store`` is optional: without one, exploration still finds and
     verifies failures, it just keeps no durable corpus.  With one, every
     novel failing trace (plus a bounded sample of passes) is ingested —
-    through an :class:`~repro.corpus.pipeline.IncrementalPipeline` as
+    batched per wave through
+    :meth:`~repro.corpus.pipeline.IncrementalPipeline.ingest_batch` as
     soon as the store holds both labels, so the maintained analysis
-    views patch along.
+    views patch along at one update per wave.
     """
 
     def __init__(
@@ -178,6 +354,10 @@ class ExplorationDriver:
     ) -> None:
         self.program = program
         self.config = config or ExploreConfig()
+        if self.config.wave < 1:
+            raise ValueError(
+                f"wave size must be >= 1, got {self.config.wave}"
+            )
         self.store = store
         self.bus = bus
         self.simulator = Simulator(
@@ -185,14 +365,42 @@ class ExplorationDriver:
         )
         #: interleaving signatures of every execution seen
         self.seen: set[str] = set()
-        #: signatures that failed (novelty filter for ingestion)
+        #: Mazurkiewicz class -> executions observed in it
+        self.canonical_seen: dict[str, int] = {}
+        #: signatures that failed (novelty filter for failure artifacts)
         self.failing_seen: set[str] = set()
+        #: trace fingerprints of recorded failures — two interleavings
+        #: can serialize to the identical trace (the differing
+        #: decisions leave no observable event), and a second schedule
+        #: reproducing the same trace adds no reproducer value
+        self._failure_fingerprints: set[str] = set()
         #: handoff edges covered so far
         self.coverage: set[tuple[str, str]] = set()
-        #: coverage-increasing schedules, mutation fodder (FIFO-capped)
-        self.frontier: list[Schedule] = []
+        #: coverage-increasing schedules, mutation fodder — the deque
+        #: cap makes eviction O(1) where a list's pop(0) was O(n)
+        self.frontier: deque[Schedule] = deque(
+            maxlen=self.config.frontier_cap
+        )
+        #: exact signature -> dependence-relevant flips of an admitted
+        #: schedule (see :func:`relevant_flips`); what directed
+        #: mutation spends budget on.  Grows with distinct admitted
+        #: signatures — bounded by the budget, tiny tuples, so no
+        #: eviction needed.
+        self._flips: dict[str, tuple[tuple[int, str], ...]] = {}
+        #: (signature, branch, forced choice) triples already planned —
+        #: a flip is attempted at most once, like a DPOR backtrack set
+        self._flips_tried: set[tuple[str, int, str]] = set()
         self.pipeline = None  # lazily bootstrapped IncrementalPipeline
         self._rng = Random(self.config.start_seed)
+        #: (trace, schedule signature, "pass"|"fail") awaiting the
+        #: current wave's batched ingestion
+        self._wave_candidates: list[tuple[object, str, str]] = []
+        self._pending_pass = 0
+        self._factory = None  # set in run(); workers rebuild from it
+        #: mutation-energy accounting (partial-order pruning): how many
+        #: mutations ran, and how many landed in a novel class
+        self._mutations = 0
+        self._mutations_novel = 0
 
     def _emit(self, event) -> None:
         if self.bus is not None:
@@ -203,13 +411,16 @@ class ExplorationDriver:
     def run(self) -> ExplorationResult:
         from ..api.events import ExplorationFinished, ExplorationStarted
         from ..api.registry import strategy_factory
+        from ..exec.engine import ExecutionEngine
 
         cfg = self.config
-        factory = strategy_factory(cfg.strategy, cfg.strategy_params)
+        self._factory = strategy_factory(cfg.strategy, cfg.strategy_params)
         result = ExplorationResult(
             program=self.program.name,
             strategy=cfg.strategy,
             budget=cfg.budget,
+            wave=cfg.wave,
+            partial_order=cfg.partial_order,
         )
         self._emit(
             ExplorationStarted(
@@ -218,17 +429,31 @@ class ExplorationDriver:
                 budget=cfg.budget,
             )
         )
-        for i in range(cfg.budget):
-            seed = cfg.start_seed + i
-            strategy, mutated = self._next_strategy(factory, seed)
-            execution = self.simulator.run(seed, strategy=strategy)
-            self._observe(execution, seed, mutated, result)
-            if cfg.stats_every and (i + 1) % cfg.stats_every == 0:
-                self._emit_stats(result)
+        engine = ExecutionEngine.from_options(
+            jobs=cfg.jobs, backend=cfg.backend
+        )
+        try:
+            done = 0
+            while done < cfg.budget:
+                count = min(cfg.wave, cfg.budget - done)
+                plans = [self._plan(done + k) for k in range(count)]
+                observations = engine.execute(plans, self._run_plan)
+                for observation in observations:
+                    self._observe(observation, result)
+                    if (
+                        cfg.stats_every
+                        and result.executions % cfg.stats_every == 0
+                    ):
+                        self._emit_stats(result)
+                self._ingest_wave(result)
+                done += count
+        finally:
+            engine.close()
         result.coverage_edges = len(self.coverage)
         result.frontier_size = len(self.frontier)
         result.distinct_signatures = len(self.seen)
         result.distinct_failing_signatures = len(self.failing_seen)
+        result.distinct_canonical = len(self.canonical_seen)
         self._persist()
         self._emit(
             ExplorationFinished(
@@ -239,54 +464,202 @@ class ExplorationDriver:
                     result.distinct_failing_signatures
                 ),
                 coverage_edges=result.coverage_edges,
+                distinct_canonical=result.distinct_canonical,
+                pruned_equivalent=result.pruned_equivalent,
             )
         )
         return result
 
-    def _next_strategy(self, factory, seed: int):
-        """Mutate a frontier schedule, or run the base strategy fresh."""
+    # -- planning (parent only, all RNG here) ----------------------------
+
+    def _plan(self, i: int) -> WavePlan:
+        """Mutate a frontier schedule, or run the base strategy fresh.
+
+        Consumes the driver RNG exactly like the historical serial
+        ``_next_strategy`` did (``randrange(len)`` indexing draws the
+        same underlying bits as ``choice``), so plans — and therefore
+        results — are independent of how the wave later executes.
+        """
         cfg = self.config
-        if self.frontier and self._rng.random() < cfg.mutation_rate:
-            parent = self._rng.choice(self.frontier)
+        seed = cfg.start_seed + i
+        rate = cfg.mutation_rate
+        if cfg.partial_order and self._mutations:
+            # Withhold energy from mutation when it stops paying:
+            # scale the rate by the fraction of past mutations that
+            # reached a *novel* equivalence class, so saturated-class
+            # budget flows back into fresh strategy seeds.  Uses only
+            # observations from completed waves — deterministic for
+            # any job count.
+            novel_frac = self._mutations_novel / self._mutations
+            rate *= max(0.1, novel_frac)
+        if cfg.partial_order:
+            # Directed mutation: spend each plan on one untried
+            # *dependence-relevant* flip from anywhere in the frontier
+            # — replay to a recorded branch point, schedule a candidate
+            # whose hoisted action conflicts with the parent's
+            # continuation, then follow the parent's remaining order
+            # (the DPOR backtrack move; lands in a provably different
+            # equivalence class).  Each flip is attempted at most
+            # once; when the pool is dry, budget flows back into
+            # fresh strategy seeds — blind prefix-cut mutations mostly
+            # resample already-seen classes.
+            pool = self._untried_flips()
+            if pool and self._rng.random() < rate:
+                parent, sig, b, c = pool[self._rng.randrange(len(pool))]
+                self._flips_tried.add((sig, b, c))
+                return WavePlan(
+                    index=i,
+                    seed=seed,
+                    mutated=True,
+                    parent=parent,
+                    prefix=b,
+                    tail_seed=seed,
+                    force=c,
+                )
+            return WavePlan(index=i, seed=seed, mutated=False)
+        if self.frontier and self._rng.random() < rate:
+            parent = self.frontier[self._rng.randrange(len(self.frontier))]
             if len(parent) > 0:
                 cut = self._rng.randrange(1, len(parent) + 1)
-                return (
-                    ReplayStrategy(
-                        schedule=parent,
-                        prefix=cut,
-                        tail=RandomStrategy(seed),
-                    ),
-                    True,
+                return WavePlan(
+                    index=i,
+                    seed=seed,
+                    mutated=True,
+                    parent=parent,
+                    prefix=cut,
+                    tail_seed=seed,
                 )
-        return factory(seed), False
+        return WavePlan(index=i, seed=seed, mutated=False)
 
-    def _observe(self, execution, seed, mutated, result) -> None:
-        from ..api.events import ExecutionExplored, NovelCoverage
+    def _untried_flips(self) -> list[tuple[Schedule, str, int, str]]:
+        """Every (parent, signature, branch, choice) flip not yet
+        attempted, in frontier order — the directed-mutation pool."""
+        pool: list[tuple[Schedule, str, int, str]] = []
+        for parent in self.frontier:
+            sig = parent.signature()
+            for b, c in self._flips.get(sig, ()):
+                if (sig, b, c) not in self._flips_tried:
+                    pool.append((parent, sig, b, c))
+        return pool
+
+    # -- execution (workers; must not read mutable driver state) ---------
+
+    def _run_plan(self, plan: WavePlan) -> WaveObservation:
+        """Execute one plan.  Runs in a worker under thread/process
+        backends: reads only the plan and state frozen before the first
+        wave (program, simulator, strategy factory)."""
+        from .strategies import SwapTail
+
+        if plan.parent is not None:
+            if plan.force is not None:
+                # Desired order past the branch: the forced candidate,
+                # then the parent's remaining decisions minus the
+                # forced thread's old slot (it was hoisted, not added).
+                rest = list(plan.parent.decisions[plan.prefix :])
+                for k in range(1, len(rest)):
+                    if rest[k] == plan.force:
+                        del rest[k]
+                        break
+                tail = SwapTail(
+                    queue=(plan.force, *rest), seed=plan.tail_seed
+                )
+            else:
+                tail = RandomStrategy(plan.tail_seed)
+            strategy = ReplayStrategy(
+                schedule=plan.parent, prefix=plan.prefix, tail=tail
+            )
+        else:
+            strategy = self._factory(plan.seed)
+        # A forced flip must re-execute the parent's run exactly up to
+        # the branch, so it runs under the parent's recorded seed (the
+        # program's own behavior is seed-dependent); plain mutations
+        # keep the historical fresh-seed semantics.
+        run_seed = (
+            plan.parent.seed
+            if plan.parent is not None and plan.force is not None
+            else plan.seed
+        )
+        recorder = _BranchRecorder(strategy)
+        execution = self.simulator.run(run_seed, strategy=recorder)
+        return WaveObservation(
+            index=plan.index,
+            seed=plan.seed,
+            mutated=plan.mutated,
+            diverged=bool(getattr(strategy, "diverged", False)),
+            trace=execution.trace,
+            schedule=execution.schedule,
+            footprints=execution.footprints,
+            branches=tuple(recorder.branches),
+        )
+
+    # -- observation (parent, submission order) --------------------------
+
+    def _observe(self, observation: WaveObservation, result) -> None:
+        from ..api.events import (
+            EquivalentPruned,
+            ExecutionExplored,
+            NovelCoverage,
+        )
 
         cfg = self.config
-        schedule = execution.schedule
+        schedule = observation.schedule
         signature = schedule.signature()
-        failed = execution.failed
+        canonical = schedule.canonical_signature(observation.footprints)
+        failed = observation.trace.failed
         result.executions += 1
         if failed:
             result.n_failed += 1
         novel_signature = signature not in self.seen
         self.seen.add(signature)
+        occurrences = self.canonical_seen.get(canonical, 0) + 1
+        self.canonical_seen[canonical] = occurrences
+        novel_class = occurrences == 1
+        if observation.mutated:
+            self._mutations += 1
+            if novel_class:
+                self._mutations_novel += 1
+        if not novel_class:
+            result.pruned_equivalent += 1
+            if cfg.partial_order:
+                self._emit(
+                    EquivalentPruned(
+                        signature=signature,
+                        canonical=canonical,
+                        occurrences=occurrences,
+                    )
+                )
         self._emit(
             ExecutionExplored(
                 index=result.executions - 1,
-                seed=seed,
+                seed=observation.seed,
                 signature=signature,
                 failed=failed,
-                mutated=mutated,
+                mutated=observation.mutated,
             )
         )
         new_edges = schedule.transitions() - self.coverage
         if new_edges:
             self.coverage.update(new_edges)
+        # Mutation energy is allotted by equivalence class: a schedule
+        # in an already-seen class earns no frontier slot even if its
+        # particular linearization covered a new handoff edge, while a
+        # class-novel schedule earns one even after the tiny edge
+        # alphabet saturates — that is where the canonical signature
+        # keeps discriminating.  Without pruning, admission is the
+        # historical new-edges rule.
+        if cfg.partial_order:
+            admit = novel_class
+        else:
+            admit = bool(new_edges)
+        if admit:
             self.frontier.append(schedule)
-            if len(self.frontier) > cfg.frontier_cap:
-                self.frontier.pop(0)
+            if cfg.partial_order and signature not in self._flips:
+                self._flips[signature] = relevant_flips(
+                    schedule.decisions,
+                    observation.footprints,
+                    observation.branches,
+                )
+        if new_edges:
             self._emit(
                 NovelCoverage(
                     signature=signature,
@@ -294,22 +667,30 @@ class ExplorationDriver:
                     total_edges=len(self.coverage),
                 )
             )
+        novel_for_ingest = novel_class if cfg.partial_order else novel_signature
         if failed and signature not in self.failing_seen:
             self.failing_seen.add(signature)
-            self._record_failure(execution, schedule, signature, result)
+            self._record_failure(observation, schedule, signature, result)
         elif (
             not failed
-            and novel_signature
-            and result.ingested_pass < cfg.max_pass_ingest
+            and novel_for_ingest
+            and self.store is not None
+            and result.ingested_pass + self._pending_pass
+            < cfg.max_pass_ingest
         ):
-            if self._ingest(execution.trace, signature):
-                result.ingested_pass += 1
+            self._wave_candidates.append(
+                (observation.trace, signature, "pass")
+            )
+            self._pending_pass += 1
 
-    def _record_failure(self, execution, schedule, signature, result):
+    def _record_failure(self, observation, schedule, signature, result):
         from ..api.events import FailureFound
 
         cfg = self.config
-        fingerprint = stable_digest(trace_to_dict(execution.trace))
+        fingerprint = stable_digest(trace_to_dict(observation.trace))
+        if fingerprint in self._failure_fingerprints:
+            return  # same observable trace as a recorded failure
+        self._failure_fingerprints.add(fingerprint)
         verified: Optional[bool] = None
         if cfg.verify_replays:
             replay = self.simulator.run(
@@ -326,15 +707,17 @@ class ExplorationDriver:
         found = FoundFailure(
             schedule=schedule,
             signature=signature,
-            failure_signature=execution.failure.signature,
+            failure_signature=observation.trace.failure.signature,
             seed=schedule.seed,
             fingerprint=fingerprint,
             replay_verified=verified,
             path=path,
         )
         result.failures.append(found)
-        if self._ingest(execution.trace, signature):
-            result.ingested_fail += 1
+        if self.store is not None:
+            self._wave_candidates.append(
+                (observation.trace, signature, "fail")
+            )
         self._emit(
             FailureFound(
                 signature=signature,
@@ -344,23 +727,43 @@ class ExplorationDriver:
             )
         )
 
-    # -- corpus integration ----------------------------------------------
+    # -- corpus integration (batched per wave) ---------------------------
 
-    def _ingest(self, trace, schedule_signature: str) -> bool:
-        """Store one trace (through the pipeline once it can bootstrap);
-        returns whether the store grew."""
-        if self.store is None:
-            return False
-        self._maybe_bootstrap()
-        if self.pipeline is not None:
-            outcome = self.pipeline.ingest(
-                trace, schedule_signature=schedule_signature
+    def _ingest_wave(self, result) -> None:
+        """Flush the wave's ingestion candidates: plain store ingests
+        until the pipeline can bootstrap, one
+        :meth:`~repro.corpus.pipeline.IncrementalPipeline.ingest_batch`
+        for everything after."""
+        candidates = self._wave_candidates
+        self._wave_candidates = []
+        self._pending_pass = 0
+        if self.store is None or not candidates:
+            return
+        added_flags: list[bool] = []
+        i = 0
+        while i < len(candidates):
+            self._maybe_bootstrap()
+            if self.pipeline is not None:
+                break
+            trace, sched_sig, _ = candidates[i]
+            _, added = self.store.ingest(
+                trace, schedule_signature=sched_sig
             )
-            return outcome.added
-        _, added = self.store.ingest(
-            trace, schedule_signature=schedule_signature
-        )
-        return added
+            added_flags.append(added)
+            i += 1
+        if i < len(candidates):
+            batch = self.pipeline.ingest_batch(
+                [trace for trace, _, _ in candidates[i:]],
+                [sig for _, sig, _ in candidates[i:]],
+            )
+            added_flags.extend(r.added for r in batch.results)
+        for (_, _, kind), added in zip(candidates, added_flags):
+            if not added:
+                continue
+            if kind == "fail":
+                result.ingested_fail += 1
+            else:
+                result.ingested_pass += 1
 
     def _maybe_bootstrap(self) -> None:
         """Bootstrap the incremental pipeline once both labels exist.

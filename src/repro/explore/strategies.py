@@ -36,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from random import Random
 
-from ..sim.schedule import SchedulePoint
+from ..sim.schedule import SchedulePoint, SchedulerStrategy
 
 #: Default number of scheduling decisions priority-change/delay points
 #: are sampled from.  Executions longer than the horizon simply see no
@@ -125,3 +125,40 @@ class DelayStrategy:
         if point.index in self._delay_points and len(point.candidates) > 1:
             return point.candidates[1]
         return point.candidates[0]
+
+
+@dataclass
+class SwapTail:
+    """Follow a desired thread order as closely as readiness allows.
+
+    The directed-mutation tail used by wave exploration: the driver
+    replays a parent schedule up to a recorded *branch point* and this
+    strategy takes over with a ``queue`` of desired picks — the
+    candidate the parent did not take, hoisted to the front, followed
+    by the parent's own remaining decisions (minus the hoisted
+    thread's old slot).  Each decision schedules the earliest queued
+    thread that is ready and consumes it, so the run executes the
+    parent's continuation with exactly one dependence pair reversed —
+    the DPOR backtrack move — instead of wandering off on a random
+    suffix that mostly resamples already-seen equivalence classes.
+
+    Threads not in the queue (or queued picks never ready again) fall
+    back to a seeded-random choice, keeping the strategy total.
+    """
+
+    queue: tuple[str, ...]
+    seed: int
+    rng: Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = Random(self.seed)
+        self._pending = list(self.queue)
+
+    def choose(self, point: SchedulePoint) -> str:
+        for i, name in enumerate(self._pending):
+            if name in point.candidates:
+                del self._pending[i]
+                return name
+        return point.candidates[
+            self.rng.randrange(len(point.candidates))
+        ]

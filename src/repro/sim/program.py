@@ -122,6 +122,35 @@ def action_cost(action: Action) -> int:
     return 1
 
 
+def action_footprint(action: Optional[Action], thread: str) -> frozenset:
+    """The resources one scheduling decision touches, as
+    ``(key, is_write)`` pairs — the independence relation partial-order
+    pruning is built on (see
+    :func:`repro.sim.schedule.canonical_decisions`).
+
+    Every decision writes its own ``thread:`` key (program order; also
+    what thread completion — ``action is None`` — amounts to), reads or
+    writes the shared variable / lock / peer-thread key its action
+    names, and a :class:`WaitCompletedAction` writes the global barrier
+    key ``"*"`` (its wake-up condition can depend on any thread's
+    progress, so it commutes with nothing).
+    """
+    keys: set[tuple[str, bool]] = {(f"thread:{thread}", True)}
+    if isinstance(action, ReadAction):
+        keys.add((f"var:{action.var}", False))
+    elif isinstance(action, WriteAction):
+        keys.add((f"var:{action.var}", True))
+    elif isinstance(action, (AcquireAction, ReleaseAction)):
+        keys.add((f"lock:{action.lock}", True))
+    elif isinstance(action, SpawnAction):
+        keys.add((f"thread:{action.thread}", True))
+    elif isinstance(action, JoinAction):
+        keys.add((f"thread:{action.thread}", False))
+    elif isinstance(action, WaitCompletedAction):
+        keys.add(("*", True))
+    return frozenset(keys)
+
+
 # ---------------------------------------------------------------------------
 # Program definition
 # ---------------------------------------------------------------------------

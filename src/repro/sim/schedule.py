@@ -37,16 +37,120 @@ trace files.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from random import Random
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 from .serialize import stable_digest
 
 SCHEDULE_SCHEMA_VERSION = 1
+
+#: One decision's resource touches: ``(key, is_write)`` pairs.  Two
+#: decisions *conflict* when they share a key and at least one writes
+#: it; adjacent non-conflicting decisions commute (Mazurkiewicz trace
+#: equivalence), which is what partial-order pruning exploits.
+Footprint = frozenset
+
+
+def footprints_conflict(a: Footprint, b: Footprint) -> bool:
+    """Whether two decisions are dependent (do not commute)."""
+    if not a or not b:
+        return False
+    for key, is_write in a:
+        if is_write:
+            if any(k == key for k, _ in b):
+                return True
+        elif (key, True) in b:
+            return True
+    return False
+
+
+def canonical_decisions(
+    decisions: Sequence[str], footprints: Sequence[Footprint]
+) -> tuple[str, ...]:
+    """The lexicographically-minimal linearization of the decisions'
+    dependence partial order — a normal form shared by every member of
+    the schedule's Mazurkiewicz equivalence class.
+
+    Dependence edges come from three sources, all derivable from the
+    per-decision footprints the simulator records:
+
+    * program order — consecutive decisions of the same thread (every
+      footprint writes its own ``thread:`` key);
+    * data/lock conflicts — a write to a key depends on the previous
+      write and on every read since it; a read depends on the previous
+      write (reads of the same key commute);
+    * barriers — a decision writing the global key ``"*"`` conflicts
+      with everything (every footprint implicitly reads ``"*"``).
+
+    The normal form is computed greedily (Kahn's algorithm, always
+    releasing the smallest ready thread name); same-thread decisions are
+    chained, so at most one decision per thread is ever ready and the
+    tie-break is total.  Two recorded schedules whose executions differ
+    only by commuting adjacent independent decisions canonicalize to
+    the same tuple; schedules with different dependence structure keep
+    distinct normal forms.
+    """
+    n = len(decisions)
+    if n != len(footprints):
+        raise ValueError(
+            f"{n} decisions but {len(footprints)} footprints"
+        )
+    succs: list[list[int]] = [[] for _ in range(n)]
+    indegree = [0] * n
+    edges: set[tuple[int, int]] = set()
+
+    def add_edge(src: int, dst: int) -> None:
+        if src == dst or (src, dst) in edges:
+            return
+        edges.add((src, dst))
+        succs[src].append(dst)
+        indegree[dst] += 1
+
+    last_write: dict[str, int] = {}
+    readers_since: dict[str, list[int]] = {}
+    for i, fp in enumerate(footprints):
+        for key, is_write in sorted(fp):
+            if is_write:
+                prev = last_write.get(key)
+                if prev is not None:
+                    add_edge(prev, i)
+                for reader in readers_since.get(key, ()):
+                    add_edge(reader, i)
+                last_write[key] = i
+                readers_since[key] = []
+            else:
+                prev = last_write.get(key)
+                if prev is not None:
+                    add_edge(prev, i)
+                readers_since.setdefault(key, []).append(i)
+        # Every decision implicitly reads the barrier key, so a
+        # barrier write ("*", True) orders against all neighbours.
+        prev = last_write.get("*")
+        if prev is not None and ("*", True) not in fp:
+            add_edge(prev, i)
+        if ("*", True) not in fp:
+            readers_since.setdefault("*", []).append(i)
+
+    ready = [
+        (decisions[i], i) for i in range(n) if indegree[i] == 0
+    ]
+    heapq.heapify(ready)
+    out: list[str] = []
+    while ready:
+        _, i = heapq.heappop(ready)
+        out.append(decisions[i])
+        for j in succs[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                heapq.heappush(ready, (decisions[j], j))
+    if len(out) != n:  # pragma: no cover - the graph is acyclic by
+        raise ValueError("dependence graph has a cycle")  # construction
+    return tuple(out)
 
 
 class ScheduleError(ValueError):
@@ -122,6 +226,32 @@ class Schedule:
         same fingerprint scheme every other repro artifact uses."""
         return stable_digest(
             {"program": self.program, "decisions": list(self.decisions)}
+        )
+
+    def canonical_signature(
+        self, footprints: Optional[Sequence[Footprint]] = None
+    ) -> str:
+        """Content address of the schedule's Mazurkiewicz equivalence
+        class: the :func:`canonical_decisions` normal form, hashed the
+        same way :meth:`signature` hashes the raw decision list (under
+        a distinct key, so the two namespaces never collide).
+
+        Without footprints (or with a stale list that no longer lines
+        up with the decisions) there is no independence information, so
+        the canonical class degenerates to the exact interleaving.
+
+        This is a *search* equivalence, not a semantic one: commuting
+        independent decisions preserves the dependence structure but
+        may still shift virtual timestamps, so exploration uses it to
+        steer budget (frontier admission, mutation energy), never to
+        drop failures — those stay deduplicated by exact signature.
+        """
+        if footprints is None or len(footprints) != len(self.decisions):
+            normal: tuple[str, ...] = self.decisions
+        else:
+            normal = canonical_decisions(self.decisions, footprints)
+        return stable_digest(
+            {"program": self.program, "canonical": list(normal)}
         )
 
     def transitions(self) -> frozenset[tuple[str, str]]:

@@ -43,7 +43,13 @@ from typing import Callable, Optional
 
 from .errors import SimulatedError
 from .faults import Intervention, InterventionSet
-from .program import Program, SimContext, SpawnAction, action_cost
+from .program import (
+    Program,
+    SimContext,
+    SpawnAction,
+    action_cost,
+    action_footprint,
+)
 from .runtime import Blocked, Runtime
 from .schedule import (
     RandomStrategy,
@@ -126,6 +132,7 @@ class Simulator:
         trace = ExecutionTrace(self.program.name, seed)
         runtime = Runtime(self.program, interventions, seed, trace)
         decisions: list[str] = []
+        footprints: list[frozenset] = []
 
         threads: dict[str, _Thread] = {}
         spawn_order = 0
@@ -206,7 +213,9 @@ class Simulator:
                     f"{point.candidates} at decision {point.index}"
                 )
             decisions.append(chosen)
-            self._step(thread, threads, runtime, trace, start_thread)
+            footprints.append(
+                self._step(thread, threads, runtime, trace, start_thread)
+            )
 
         for t in threads.values():
             if t.status not in (ThreadStatus.DONE, ThreadStatus.CRASHED):
@@ -221,12 +230,15 @@ class Simulator:
                 seed=seed,
                 decisions=tuple(decisions),
             ),
+            footprints=tuple(footprints),
         )
 
     # -- internals -------------------------------------------------------
 
-    def _step(self, thread, threads, runtime, trace, start_thread) -> None:
-        """Advance one thread by one primitive action."""
+    def _step(self, thread, threads, runtime, trace, start_thread) -> frozenset:
+        """Advance one thread by one primitive action; returns the
+        decision's resource footprint (see
+        :func:`~repro.sim.program.action_footprint`)."""
         try:
             if thread.pending_action is not None:
                 action = thread.pending_action
@@ -238,10 +250,10 @@ class Simulator:
             thread.status = ThreadStatus.DONE
             runtime.release_all(thread.name)
             runtime.thread_finished(thread.name)
-            return
+            return action_footprint(None, thread.name)
         except SimulatedError as exc:
             self._crash(thread, exc, runtime, trace)
-            return
+            return action_footprint(None, thread.name)
 
         if isinstance(action, SpawnAction):
             start_thread(action.thread, action.method, action.args, thread.name)
@@ -256,6 +268,7 @@ class Simulator:
             # The thread stays busy for the action's cost; its next
             # action executes no earlier than ready_at.
             thread.ready_at = runtime.clock.now + action_cost(action)
+        return action_footprint(action, thread.name)
 
     def _crash(self, thread, exc: SimulatedError, runtime, trace) -> None:
         thread.status = ThreadStatus.CRASHED

@@ -290,6 +290,10 @@ class ExecutionResult:
     trace: ExecutionTrace
     steps: int
     schedule: Optional[object] = None
+    #: per-decision resource footprints, parallel to
+    #: ``schedule.decisions`` — the independence information
+    #: :meth:`~repro.sim.schedule.Schedule.canonical_signature` consumes
+    footprints: tuple = ()
 
     @property
     def failed(self) -> bool:

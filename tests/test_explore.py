@@ -253,9 +253,14 @@ class TestDriver:
 
     def test_distinct_failing_signatures_deduped(self, npgsql):
         result = explore(npgsql, ExploreConfig(budget=80))
-        assert result.distinct_failing_signatures == len(result.failures)
+        # one recorded failure per observable trace: interleaving
+        # signatures are unique, fingerprints are unique, and a second
+        # schedule reproducing an already-recorded trace is dropped
+        assert len(result.failures) <= result.distinct_failing_signatures
         sigs = [f.signature for f in result.failures]
         assert len(sigs) == len(set(sigs))
+        fps = [f.fingerprint for f in result.failures]
+        assert len(fps) == len(set(fps))
 
     def test_emits_typed_events(self, npgsql):
         log = EventLog()
@@ -437,7 +442,7 @@ class TestCli:
             == 0
         )
         payload = json.loads(capsys.readouterr().out)
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["executions"] == 60
         assert payload["failures_found"] >= 1
         assert payload["all_replays_verified"] is True
